@@ -1,0 +1,348 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark names the experiment from DESIGN.md it backs:
+//
+//	BenchmarkTable1Insert  — E1: Table 1, ascending-key index builds
+//	BenchmarkTable1Lookup  — E2: Table 1, 8,000 random lookups
+//	BenchmarkHeightModel   — E3: §5 tree-height analysis
+//	BenchmarkWisconsin     — E4: §6 access-method time fraction
+//	BenchmarkLogVolume     — E5: §4 logical vs physical log bytes
+//	BenchmarkRecovery      — E6: §1 restart cost, no-log vs log replay
+//	BenchmarkAblation*     — design-choice ablations from DESIGN.md
+package repro_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/wal"
+	"repro/internal/wisconsin"
+)
+
+func key(i int) []byte {
+	k := make([]byte, 4)
+	binary.BigEndian.PutUint32(k, uint32(i))
+	return k
+}
+
+var table1Variants = []btree.Variant{btree.Normal, btree.Reorg, btree.Shadow}
+var table1Sizes = []int{10000, 20000, 40000}
+
+// buildAscending constructs the Table 1 index: n ascending 4-byte keys,
+// the paper's worst case for split performance.
+func buildAscending(b *testing.B, v btree.Variant, n int, opts btree.Options) *btree.Tree {
+	b.Helper()
+	tr, err := btree.Open(storage.NewMemDisk(), v, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	value := []byte("v00000000")
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(key(i), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// BenchmarkTable1Insert regenerates the insert half of Table 1: one
+// benchmark op is one complete index build.
+func BenchmarkTable1Insert(b *testing.B) {
+	for _, v := range table1Variants {
+		for _, n := range table1Sizes {
+			b.Run(fmt.Sprintf("%v/%d", v, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					tr := buildAscending(b, v, n, btree.Options{})
+					if tr.Stats.Inserts.Load() != uint64(n) {
+						b.Fatal("short build")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Lookup regenerates the lookup half of Table 1: uniformly
+// distributed random lookups against each prebuilt index.
+func BenchmarkTable1Lookup(b *testing.B) {
+	for _, v := range table1Variants {
+		for _, n := range table1Sizes {
+			b.Run(fmt.Sprintf("%v/%d", v, n), func(b *testing.B) {
+				tr := buildAscending(b, v, n, btree.Options{})
+				if err := tr.Sync(); err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(1992))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := tr.Lookup(key(rng.Intn(n))); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Scan extends Table 1 with range-scan cost over the peer
+// chain (the reason the indexes are B-link trees at all).
+func BenchmarkTable1Scan(b *testing.B) {
+	for _, v := range table1Variants {
+		b.Run(v.String(), func(b *testing.B) {
+			tr := buildAscending(b, v, 40000, btree.Options{})
+			if err := tr.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				err := tr.Scan(key(10000), key(20000), func(_, _ []byte) bool {
+					n++
+					return true
+				})
+				if err != nil || n != 10000 {
+					b.Fatalf("scan: n=%d err=%v", n, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHeightModel regenerates the §5 analysis and reports the shadow
+// fanout penalty as a metric.
+func BenchmarkHeightModel(b *testing.B) {
+	sizes := []int{1000, 10000, 40000, 100000, 1000000, 10000000}
+	var rows []model.Row
+	for i := 0; i < b.N; i++ {
+		rows = model.Analyze([]int{4, 8, 16, 64}, sizes, 1.0)
+	}
+	differ := 0
+	for _, r := range rows {
+		if r.ShadowLevels != r.NormalLevels {
+			differ++
+		}
+	}
+	b.ReportMetric(float64(differ)/float64(len(rows)), "height-divergence-fraction")
+	in, is := model.InternalFanout(4, false), model.InternalFanout(4, true)
+	b.ReportMetric(100*float64(in-is)/float64(in), "prevptr-fanout-loss-%")
+}
+
+// BenchmarkWisconsin regenerates the §6 measurement: the fraction of
+// workload time inside the index access method, per variant.
+func BenchmarkWisconsin(b *testing.B) {
+	for _, v := range table1Variants {
+		b.Run(v.String(), func(b *testing.B) {
+			db, err := core.Open(core.Memory(), core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			w, err := wisconsin.Load(db, "wisc", 10000, v, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				tm, err := w.RunSelections(rng, 30)
+				if err != nil {
+					b.Fatal(err)
+				}
+				frac = tm.Fraction()
+			}
+			b.ReportMetric(100*frac, "access-method-%")
+		})
+	}
+}
+
+// BenchmarkLogVolume regenerates the §4 comparison: bytes logged per insert
+// under physical vs logical index logging.
+func BenchmarkLogVolume(b *testing.B) {
+	kpp := model.LeafFanout(4, 9)
+	for _, mode := range []wal.Mode{wal.Physical, wal.Logical} {
+		b.Run(mode.String(), func(b *testing.B) {
+			variant := btree.Normal
+			if mode == wal.Logical {
+				variant = btree.Shadow
+			}
+			var bytesPerInsert float64
+			for i := 0; i < b.N; i++ {
+				tr, err := btree.Open(storage.NewMemDisk(), variant, btree.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				m := wal.NewManager(mode, tr, kpp)
+				const n = 10000
+				for j := 0; j < n; j++ {
+					if err := m.Insert(key(j), []byte("v")); err != nil {
+						b.Fatal(err)
+					}
+				}
+				bytesPerInsert = float64(m.Log().Bytes()) / n
+			}
+			b.ReportMetric(bytesPerInsert, "log-bytes/insert")
+		})
+	}
+}
+
+// BenchmarkRecovery regenerates the §1 availability claim: restart after a
+// crash costs almost nothing because there is no log to process — repairs
+// happen lazily on first use. The comparison case replays a logical log of
+// the same workload, which is what a WAL system's restart must do.
+func BenchmarkRecovery(b *testing.B) {
+	const n = 20000
+	b.Run("no-log-reopen", func(b *testing.B) {
+		// One crashed image, reopened b.N times: the measured cost is
+		// Open plus the first 100 lookups (which perform any repairs).
+		d := storage.NewMemDisk()
+		tr, err := btree.Open(d, btree.Shadow, btree.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := tr.Insert(key(i), []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tr.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		for i := n; i < n+200; i++ {
+			if err := tr.Insert(key(i), []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tr.Pool().FlushDirty(); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.CrashPartial(func(p []storage.PageNo) []storage.PageNo { return p[:len(p)/2] }); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr2, err := btree.Open(d, btree.Shadow, btree.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < 100; j++ {
+				if _, err := tr2.Lookup(key(j * (n / 100))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("log-replay", func(b *testing.B) {
+		// The WAL counterpart: rebuild index state by replaying the
+		// operation log.
+		m := wal.NewManager(wal.Logical, mustTree(b, btree.Shadow), model.LeafFanout(4, 9))
+		for i := 0; i < n; i++ {
+			if err := m.Insert(key(i), []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fresh := mustTree(b, btree.Shadow)
+			if err := wal.Recover(m.Log(), fresh); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func mustTree(b *testing.B, v btree.Variant) *btree.Tree {
+	b.Helper()
+	tr, err := btree.Open(storage.NewMemDisk(), v, btree.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkAblationRangeCheck isolates the cost of the descent-time
+// key-range verification — the overhead Table 1 attributes to "verifying
+// inter-page links in traversing the tree".
+func BenchmarkAblationRangeCheck(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := buildAscending(b, btree.Shadow, 40000, btree.Options{DisableRangeCheck: disable})
+			if err := tr.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(3))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Lookup(key(rng.Intn(40000))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPeerToken isolates the peer-pointer sync-token
+// verification on scans (§3.5.1).
+func BenchmarkAblationPeerToken(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := buildAscending(b, btree.Shadow, 40000, btree.Options{DisablePeerCheck: disable})
+			if err := tr.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				if err := tr.Scan(key(0), key(10000), func(_, _ []byte) bool { n++; return true }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReorgDoubleSplit measures the §3.4 reclaim case (1)
+// penalty: random inserts hit pages still carrying un-synced duplicate keys
+// and must block for a sync, the workload shape the paper says page
+// reorganization handles worst.
+func BenchmarkAblationReorgDoubleSplit(b *testing.B) {
+	for _, v := range []btree.Variant{btree.Reorg, btree.Shadow} {
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := mustTree(b, v)
+				rng := rand.New(rand.NewSource(11))
+				for _, k := range rng.Perm(20000) {
+					if err := tr.Insert(key(k), []byte("v")); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(tr.Stats.BlockedSyncs.Load()), "forced-syncs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHybrid compares the §1 hybrid suggestion (shadow at the
+// leaves, reorganization above) against both parents on the Table 1 insert
+// workload.
+func BenchmarkAblationHybrid(b *testing.B) {
+	for _, v := range []btree.Variant{btree.Shadow, btree.Reorg, btree.Hybrid} {
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				buildAscending(b, v, 20000, btree.Options{})
+			}
+		})
+	}
+}

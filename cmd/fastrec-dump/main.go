@@ -1,0 +1,131 @@
+// Command fastrec-dump inspects an index file: header summary, structure
+// dump, integrity check, recovery statistics, and optional maintenance
+// (recover-all, vacuum, merge). It operates on the durable image exactly as
+// a restarted DBMS would — lazy repairs run only if -recover is given.
+//
+//	fastrec-dump -file idx.pg -variant shadow -check -stats
+//	fastrec-dump -file idx.pg -variant reorg -dump
+//	fastrec-dump -file idx.pg -variant shadow -recover -vacuum
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/btree"
+	"repro/internal/storage"
+	"repro/internal/vacuum"
+)
+
+var (
+	file        = flag.String("file", "", "index page file (required)")
+	variantName = flag.String("variant", "shadow", "index variant: normal, shadow, reorg, hybrid")
+	doDump      = flag.Bool("dump", false, "print the tree structure")
+	doCheck     = flag.Bool("check", false, "run the structural integrity check")
+	doStrict    = flag.Bool("strict", false, "with -check: also verify the peer chain")
+	doStats     = flag.Bool("stats", false, "print size and recovery statistics")
+	doRecover   = flag.Bool("recover", false, "run all pending lazy repairs now")
+	doVacuum    = flag.Bool("vacuum", false, "regenerate the freelist (implies a sync)")
+	doMerge     = flag.Bool("merge", false, "merge underfull pages (implies syncs)")
+)
+
+func main() {
+	flag.Parse()
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "usage: fastrec-dump -file <index.pg> [-variant v] [-dump|-check|-stats|-recover|-vacuum|-merge]")
+		os.Exit(2)
+	}
+	var variant btree.Variant
+	switch *variantName {
+	case "normal":
+		variant = btree.Normal
+	case "shadow":
+		variant = btree.Shadow
+	case "reorg":
+		variant = btree.Reorg
+	case "hybrid":
+		variant = btree.Hybrid
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variantName)
+		os.Exit(2)
+	}
+
+	disk, err := storage.OpenFileDisk(*file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer disk.Close()
+	tr, err := btree.Open(disk, variant, btree.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *doRecover {
+		if err := tr.RecoverAll(); err != nil {
+			fmt.Fprintf(os.Stderr, "recover: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("recover: all lazy repairs completed")
+	}
+	if *doMerge {
+		st, err := tr.MergeUnderfull()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "merge: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merge: %d pages merged (%d examined, %d syncs)\n", st.Merged, st.Examined, st.Syncs)
+	}
+	if *doVacuum {
+		st, err := vacuum.Index(tr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vacuum: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("vacuum: %d pages reclaimed (%d scanned, %d reachable)\n",
+			st.Reclaimed, st.ScannedPages, st.ReachablePages)
+	}
+	if *doCheck {
+		mode := btree.CheckStructure
+		if *doStrict {
+			mode = btree.CheckStrict
+		}
+		if err := tr.Check(mode); err != nil {
+			fmt.Printf("check: FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("check: OK")
+	}
+	if *doStats {
+		n, err := tr.Count()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		h, err := tr.Height()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("variant:   %v\n", tr.Variant())
+		fmt.Printf("keys:      %d\n", n)
+		fmt.Printf("height:    %d levels\n", h)
+		fmt.Printf("pages:     %d (freelist %d)\n", tr.NumPages(), tr.Freelist().Len())
+		fmt.Printf("repairs:   inter-page=%d intra-page=%d root=%d peer=%d\n",
+			tr.Stats.RepairsInterPage.Load(), tr.Stats.RepairsIntraPage.Load(),
+			tr.Stats.RepairsRoot.Load(), tr.Stats.RepairsPeer.Load())
+		fmt.Printf("counters:  global=%d lastCrash=%d\n",
+			tr.Counter().Current(), tr.Counter().LastCrash())
+	}
+	if *doDump {
+		fmt.Print(tr.Dump())
+	}
+	if *doRecover || *doMerge || *doVacuum {
+		if err := tr.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "close: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of Sullivan & Olson,
+// "An Index Implementation Supporting Fast Recovery for the POSTGRES
+// Storage System" (ICDE 1992): crash-recoverable B-link-tree indexes for a
+// no-overwrite storage system that has no write-ahead log.
+//
+// The library lives under internal/; see README.md for the architecture,
+// DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for the paper-versus-measured results. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation.
+package repro

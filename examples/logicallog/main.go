@@ -1,0 +1,90 @@
+// Logical logging: §4 of the paper argues a conventional WAL DBMS can adopt
+// the recovery techniques to replace physical index logging (every key
+// moved by a split logged as a delete+insert pair) with logical logging
+// (one small record per user operation, no split records at all). This
+// example runs the same insert workload under both disciplines and compares
+// log volume, then demonstrates the fault-containment claim: logical
+// recovery regenerates the index from operations, so corrupted index bytes
+// can never ride the log back in.
+//
+//	go run ./examples/logicallog
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"repro/internal/btree"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+func key(i int) []byte {
+	k := make([]byte, 4)
+	binary.BigEndian.PutUint32(k, uint32(i))
+	return k
+}
+
+func newIdx(v btree.Variant) *btree.Tree {
+	t, err := btree.Open(storage.NewMemDisk(), v, btree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return t
+}
+
+func main() {
+	const n = 20000
+	keysPerPage := model.LeafFanout(4, 9)
+
+	// The same split-heavy workload under both disciplines. The physical
+	// manager drives a normal B-link tree (it needs the log for crash
+	// consistency); the logical manager drives a shadow tree (the index
+	// recovers itself, so splits log nothing).
+	phys := wal.NewManager(wal.Physical, newIdx(btree.Normal), keysPerPage)
+	logi := wal.NewManager(wal.Logical, newIdx(btree.Shadow), keysPerPage)
+	for i := 0; i < n; i++ {
+		if err := phys.Insert(key(i), []byte("v")); err != nil {
+			log.Fatal(err)
+		}
+		if err := logi.Insert(key(i), []byte("v")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	phys.Commit()
+	logi.Commit()
+
+	pb, lb := phys.Log().Bytes(), logi.Log().Bytes()
+	fmt.Printf("workload: %d ascending inserts (maximum split rate)\n\n", n)
+	fmt.Printf("%-10s %12s %10s\n", "discipline", "log bytes", "records")
+	fmt.Printf("%-10s %12d %10d\n", "physical", pb, phys.Log().Len())
+	fmt.Printf("%-10s %12d %10d\n", "logical", lb, logi.Log().Len())
+	fmt.Printf("\nlogical log is %.1fx more compact\n", float64(pb)/float64(lb))
+
+	// Recovery: replay the logical log into a fresh index using the
+	// ordinary insert path — "the same insert and delete operations used
+	// for normal execution are also used for recovery" (§4).
+	fresh := newIdx(btree.Shadow)
+	if err := wal.Recover(logi.Log(), fresh); err != nil {
+		log.Fatal(err)
+	}
+	cnt, err := fresh.Count()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlogical recovery rebuilt the index: %d keys\n", cnt)
+
+	// Fault containment: physical logging copies index bytes; logical
+	// logging never does.
+	corrupt := 0
+	for _, r := range phys.Log().Records() {
+		if r.Type == wal.RecSplitMove {
+			corrupt++ // any corrupted key on the page would be in here
+		}
+	}
+	fmt.Printf("\nphysical log carries %d copied index keys — any software-corrupted\n", corrupt)
+	fmt.Println("key among them would be faithfully restored at recovery.")
+	fmt.Println("the logical log carries zero index-internal bytes: corruption cannot propagate.")
+}

@@ -1,0 +1,175 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// §3.6 claims the trees tolerate concurrent access, including concurrent
+// discovery of crash damage. Writers are serialized in this reproduction,
+// but readers run in parallel and must upgrade safely when they find
+// damage; these tests drive those paths under the race detector.
+
+// TestConcurrentLookupsTriggerRepairOnce crashes a split, then lets many
+// goroutines look up keys across the damaged range simultaneously. All must
+// succeed, and the tree must end structurally sound.
+func TestConcurrentLookupsTriggerRepair(t *testing.T) {
+	for _, v := range protectedVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			nPre := findSplitTrigger(t, v, 600)
+			d := crashScenario(t, v, nPre, []int{nPre})
+			if err := d.CrashPartial(storage.CrashOnly(0)); err != nil {
+				t.Fatal(err)
+			}
+			// Keep only the meta page: everything pending is lost,
+			// maximizing the damage the readers will trip over.
+			tr, err := Open(d, v, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, 16)
+			for g := 0; g < 16; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := g; i < nPre; i += 16 {
+						got, err := tr.Lookup(u32key(i))
+						if err != nil {
+							errs <- fmt.Errorf("key %d: %w", i, err)
+							return
+						}
+						if !bytes.Equal(got, val(i)) {
+							errs <- fmt.Errorf("key %d: wrong value", i)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if err := tr.RecoverAll(); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Check(CheckStrict); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentScansAndWrites mixes scans, lookups, inserts, and deletes.
+func TestConcurrentScansAndWrites(t *testing.T) {
+	tr, _ := newTree(t, Hybrid)
+	for i := 0; i < 3000; i++ {
+		mustInsert(t, tr, i)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	stop := make(chan struct{})
+
+	// Scanners: full scans must always see keys in strictly ascending
+	// order, whatever the writers are doing.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				prev := -1
+				err := tr.Scan(nil, nil, func(k, _ []byte) bool {
+					kk := int(uint32(k[0])<<24 | uint32(k[1])<<16 | uint32(k[2])<<8 | uint32(k[3]))
+					if kk <= prev {
+						errs <- fmt.Errorf("scan out of order: %d after %d", kk, prev)
+						return false
+					}
+					prev = kk
+					return true
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	// Writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 3000; i < 4000; i++ {
+			if err := tr.Insert(u32key(i), val(i)); err != nil {
+				errs <- err
+				return
+			}
+			if i%3 == 0 {
+				if err := tr.Delete(u32key(i - 2500)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if err := tr.Check(CheckStrict); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSyncAndReads interleaves commit-time syncs with readers.
+func TestConcurrentSyncAndReads(t *testing.T) {
+	tr, _ := newTree(t, Shadow)
+	for i := 0; i < 2000; i++ {
+		mustInsert(t, tr, i)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 6; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				k := (g*577 + i*31) % 2000
+				if _, err := tr.Lookup(u32key(k)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := tr.Sync(); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

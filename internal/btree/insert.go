@@ -1,0 +1,390 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+)
+
+// Insert adds <key,value> to the index. Keys are unique (§2: POSTGRES
+// turns duplicates into <value, object_id> keys before they reach the
+// index); inserting an existing key returns ErrDuplicateKey.
+func (t *Tree) Insert(key, value []byte) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	if err := validateValue(value); err != nil {
+		return err
+	}
+	t.Stats.Inserts.Add(1)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.insertLocked(key, value)
+}
+
+func (t *Tree) insertLocked(key, value []byte) error {
+	path, err := t.descendPath(key, true)
+	if err != nil {
+		return err
+	}
+	if path == nil {
+		return t.createRootLeaf(key, value)
+	}
+	defer releasePath(path)
+
+	leafDepth := len(path) - 1
+	leaf := &path[leafDepth]
+
+	// §3.5.1: before the first insert into a leaf written before the
+	// most recent crash — or rebuilt by recovery since it — make sure
+	// the leaf is linked into the current peer-pointer path: the
+	// worst-case failure of Figure 3 leaves a stale pre-split duplicate
+	// on the old chain.
+	if t.needsPeerVerify(leaf.frame.Data) {
+		if err := t.verifyPeerPath(leaf); err != nil {
+			return err
+		}
+	}
+
+	// Duplicate check before any structural work.
+	if _, found, err := leafSearch(leaf.frame.Data, key); err != nil {
+		return err
+	} else if found {
+		return fmt.Errorf("%w: %q", ErrDuplicateKey, key)
+	}
+
+	// §3.4 free-space reclaim cases (1)–(3): a page still holding backup
+	// keys must resolve them before the update.
+	if err := t.ensureSafeForUpdate(path, leafDepth); err != nil {
+		return err
+	}
+
+	item := encodeLeafItem(key, value)
+	if leaf.frame.Data.CanFit(len(item)) {
+		if err := insertLeaf(leaf.frame.Data, key, value); err != nil {
+			return err
+		}
+		leaf.frame.MarkDirty()
+		return nil
+	}
+
+	// Split, then place the key in the proper half ("the new key whose
+	// insertion caused the split is added to P_b", §3.4 step 6). The
+	// split lock of §3.6 conflicts only with other splits; one writer
+	// acquires at most one such lock at a time, so splits are
+	// deadlock-free even under a finer-grained locking regime.
+	t.splitMu.Lock()
+	defer t.splitMu.Unlock()
+	promo, err := t.splitPage(path, leafDepth, key)
+	if err != nil {
+		return err
+	}
+	targetNo := promo.lowNo
+	if bytes.Compare(key, promo.sep) >= 0 {
+		targetNo = promo.highNo
+	}
+	tf, err := t.pool.Get(targetNo)
+	if err != nil {
+		return err
+	}
+	defer tf.Unpin()
+	if err := insertLeaf(tf.Data, key, value); err != nil {
+		return err
+	}
+	tf.MarkDirty()
+	return nil
+}
+
+// createRootLeaf initializes an empty tree with a single-key root leaf.
+func (t *Tree) createRootLeaf(key, value []byte) error {
+	metaFrame, err := t.pool.Get(0)
+	if err != nil {
+		return err
+	}
+	defer metaFrame.Unpin()
+	m := metaPage{metaFrame.Data}
+	no, f, err := t.allocPage(nil, nil)
+	if err != nil {
+		return err
+	}
+	defer f.Unpin()
+	t.initTreePage(f, 0)
+	if err := insertLeaf(f.Data, key, value); err != nil {
+		return err
+	}
+	f.MarkDirty()
+	m.setRoot(no)
+	m.setPrevRoot(0)
+	m.setRootToken(f.Data.SyncToken())
+	metaFrame.MarkDirty()
+	return nil
+}
+
+// ensureSafeForUpdate applies the §3.4 reclaim decision to the page at
+// path[depth] before it is modified:
+//
+//	(1) token == global:  the split happened in the current epoch; the
+//	    backup keys are still the only durable copy, so block for a sync
+//	    before touching the page.
+//	(2) last crash <= token < global: a sync has committed both halves;
+//	    the backups are no longer needed.
+//	(3) token < last crash: resolved during the descent (resolveBackups);
+//	    whatever survives that resolution lands in case (1) or (2).
+func (t *Tree) ensureSafeForUpdate(path []pathEntry, depth int) error {
+	f := path[depth].frame
+	if f.Data.PrevNKeys() == 0 {
+		return nil
+	}
+	if !t.protected() {
+		reclaimBackups(f.Data)
+		f.MarkDirty()
+		return nil
+	}
+	if f.Data.SyncToken() == t.counter.Current() {
+		t.Stats.BlockedSyncs.Add(1)
+		if err := t.syncLocked(); err != nil {
+			return err
+		}
+	}
+	reclaimBackups(f.Data)
+	f.MarkDirty()
+	t.Stats.BackupReclaims.Add(1)
+	return nil
+}
+
+// promo carries a completed split up to the parent: K2 = (sep -> highNo) is
+// inserted after K1, and K1's child pointer is redirected to lowNo when the
+// low half moved (shadow splits always move it; reorganization moves it
+// when the new key landed in the low half).
+type promo struct {
+	sep    []byte
+	lowNo  uint32
+	highNo uint32
+	// lowChanged: K1.childPtr must be patched to lowNo (step 5).
+	lowChanged bool
+	// prev/prevValid: the durable pre-split image for the shadow
+	// algorithm's prevPtr bookkeeping (steps 2–3) and for the meta
+	// page's previous-root pointer. prevValid is false when the split
+	// page was itself created in the current epoch, in which case K1's
+	// existing prevPtr (or the existing previous root) is reused.
+	prev      uint32
+	prevValid bool
+}
+
+// splitPage splits the (full) page at path[depth] with the technique that
+// governs its level, updates the parent (splitting it recursively if K2
+// does not fit), and returns the promotion record so the caller can pick
+// the half that receives its pending key. On return path[depth] is stale
+// and must not be used except to unpin.
+func (t *Tree) splitPage(path []pathEntry, depth int, hintKey []byte) (promo, error) {
+	node := &path[depth]
+	level := node.frame.Data.Level()
+	items, err := liveItems(node.frame.Data)
+	if err != nil {
+		return promo{}, err
+	}
+	if len(items) < 2 {
+		return promo{}, fmt.Errorf("btree: cannot split page %d with %d items", node.no, len(items))
+	}
+	mid, err := splitPoint(items)
+	if err != nil {
+		return promo{}, err
+	}
+	sep, err := itemKey(items[mid])
+	if err != nil {
+		return promo{}, err
+	}
+	sep = cloneBytes(sep)
+	lowItems, highItems := items[:mid], items[mid:]
+
+	t.Stats.Splits.Add(1)
+	var pr promo
+	if t.splitUsesShadow(level) {
+		pr, err = t.splitShadow(node, lowItems, highItems, sep)
+	} else if t.variant == Normal {
+		pr, err = t.splitNormal(node, lowItems, highItems, sep)
+	} else {
+		pr, err = t.splitReorg(node, lowItems, highItems, sep, hintKey)
+	}
+	if err != nil {
+		return promo{}, err
+	}
+
+	if depth == 0 {
+		if err := t.growRoot(node, level, pr); err != nil {
+			return promo{}, err
+		}
+		return pr, nil
+	}
+	if err := t.insertPromo(path, depth-1, pr); err != nil {
+		return promo{}, err
+	}
+	return pr, nil
+}
+
+// splitPoint picks the split index balancing bytes, not key counts, so
+// variable-length keys produce evenly filled halves.
+func splitPoint(items [][]byte) (int, error) {
+	total := 0
+	for _, it := range items {
+		total += len(it)
+	}
+	acc := 0
+	for i, it := range items {
+		acc += len(it)
+		if acc*2 >= total {
+			// Never produce an empty half.
+			if i+1 >= len(items) {
+				return len(items) - 1, nil
+			}
+			return i + 1, nil
+		}
+	}
+	return len(items) / 2, nil
+}
+
+// growRoot creates a new root above a just-split old root (§3.3: "If the
+// root page splits, a new root page is created containing two <key,data>
+// pairs pointing to the two halves of the old root") and maintains the
+// meta page's current/previous root pointers.
+func (t *Tree) growRoot(oldRoot *pathEntry, oldLevel uint8, pr promo) error {
+	metaFrame, err := t.pool.Get(0)
+	if err != nil {
+		return err
+	}
+	defer metaFrame.Unpin()
+	m := metaPage{metaFrame.Data}
+
+	no, f, err := t.allocPage(nil, nil)
+	if err != nil {
+		return err
+	}
+	defer f.Unpin()
+	t.initTreePage(f, oldLevel+1)
+	shadow := f.Data.HasFlag(page.FlagShadow)
+	prev := pr.prev
+	if !pr.prevValid {
+		prev = m.prevRoot()
+	}
+	entries := []internalItem{
+		{sep: []byte{}, child: pr.lowNo, prev: prev},
+		{sep: pr.sep, child: pr.highNo, prev: prev},
+	}
+	for i, e := range entries {
+		off, err := f.Data.AddItem(encodeInternalItem(e, shadow))
+		if err != nil {
+			return err
+		}
+		if err := f.Data.InsertSlot(i, off); err != nil {
+			return err
+		}
+	}
+	f.MarkDirty()
+
+	if pr.prevValid {
+		m.setPrevRoot(pr.prev)
+	}
+	m.setRoot(no)
+	m.setRootToken(f.Data.SyncToken())
+	metaFrame.MarkDirty()
+	t.Stats.RootSplits.Add(1)
+	return nil
+}
+
+// insertPromo performs the parent update of §3.3 (steps 1–5), splitting the
+// parent first when K2 does not fit.
+func (t *Tree) insertPromo(path []pathEntry, depth int, pr promo) error {
+	parent := &path[depth]
+
+	// The parent is itself about to be modified: resolve any backup keys
+	// it still holds (§3.4 reclaim check applies to every update).
+	if err := t.ensureSafeForUpdate(path, depth); err != nil {
+		return err
+	}
+
+	pp := parent.frame.Data
+	shadow := pp.HasFlag(page.FlagShadow)
+	enc := encodeInternalItem(internalItem{sep: pr.sep, child: pr.highNo, prev: pr.prev}, shadow)
+	if pp.CanFit(len(enc)) {
+		return t.applyPromo(parent.frame, parent.idx, pr)
+	}
+
+	// Parent is full: split it (recursively updating the grandparent),
+	// then apply K2 in whichever half now covers the separator.
+	pPr, err := t.splitPage(path, depth, pr.sep)
+	if err != nil {
+		return err
+	}
+	targetNo := pPr.lowNo
+	if bytes.Compare(pr.sep, pPr.sep) >= 0 {
+		targetNo = pPr.highNo
+	}
+	tf, err := t.pool.Get(targetNo)
+	if err != nil {
+		return err
+	}
+	defer tf.Unpin()
+	idx, err := internalSearch(tf.Data, pr.sep)
+	if err != nil {
+		return err
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: split parent half %d is empty", ErrUnrecoverable, targetNo)
+	}
+	return t.applyPromo(tf, idx, pr)
+}
+
+// applyPromo executes the crash-careful parent update of §3.3 on the given
+// page, where k1idx is the entry whose child was split:
+//
+//	(1) the new key K2 is allocated on the page (not yet visible),
+//	(2) if the split page was durable, both K1's and K2's prevPtrs are
+//	    pointed at it; (3) otherwise K2 reuses K1's prevPtr,
+//	(4) K2 is linked into the line table with the two-step protocol,
+//	(5) K1's childPtr is redirected to the new low half.
+//
+// A crash between any two steps leaves the page either unchanged, with an
+// orphaned item (harmless), with a repairable duplicate line-table entry,
+// or — after step 4 but before 5 — with K1 still naming the pre-split page,
+// which the inter-page range check catches and repairs on first use.
+func (t *Tree) applyPromo(f *buffer.Frame, k1idx int, pr promo) error {
+	pp := f.Data
+	shadow := pp.HasFlag(page.FlagShadow)
+	k2 := internalItem{sep: pr.sep, child: pr.highNo}
+	if shadow {
+		k1, err := internalEntry(pp, k1idx)
+		if err != nil {
+			return err
+		}
+		prev := k1.prev
+		if pr.prevValid {
+			prev = pr.prev
+			if err := patchInternalPrev(pp, k1idx, prev); err != nil { // step 2
+				return err
+			}
+		}
+		k2.prev = prev // steps 2–3
+	}
+	off, err := pp.AddItem(encodeInternalItem(k2, shadow)) // step 1
+	if err != nil {
+		return err
+	}
+	pos, err := internalInsertPos(pp, k2.sep)
+	if err != nil {
+		return err
+	}
+	pp.ClearFlag(page.FlagLineClean)
+	if err := pp.InsertSlot(pos, off); err != nil { // step 4
+		return err
+	}
+	pp.AddFlag(page.FlagLineClean)
+	if pr.lowChanged {
+		if err := patchInternalChild(pp, k1idx, pr.lowNo); err != nil { // step 5
+			return err
+		}
+	}
+	f.MarkDirty()
+	return nil
+}

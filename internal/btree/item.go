@@ -1,0 +1,164 @@
+// Package btree implements the three B-link-tree index variants of
+// Sullivan & Olson (ICDE 1992) on the POSTGRES-style no-overwrite storage
+// substrate:
+//
+//   - Normal: an ordinary B-link tree with no crash protection — the
+//     baseline of Table 1. A failure during a split can corrupt it.
+//   - Shadow (Technique One, §3.3): internal pages hold
+//     <key, childPtr, prevPtr> triples; the pre-split page image survives
+//     on stable storage until both halves are durable. Interrupted splits
+//     are detected on first use by key-range checks and repaired by
+//     re-copying from the prevPtr page.
+//   - Reorg (Technique Two, §3.4): splits duplicate the moved keys in the
+//     reorganized page's free space (prevNKeys/newPage header fields) and
+//     remap it over the original's disk location; the five partial-sync
+//     failure cases are detected and repaired on first use.
+//
+// All variants detect intra-page inconsistencies (duplicate line-table
+// offsets from an interrupted insert) and repair them per §3.3.2, and keep
+// leaf pages on a doubly linked peer chain whose links carry sync tokens
+// (§3.5.1).
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/page"
+)
+
+// MaxKeySize bounds key length so that a split is always possible: a page
+// must fit at least four maximal items plus bookkeeping.
+const MaxKeySize = 1024
+
+// MaxValueSize bounds leaf values the same way.
+const MaxValueSize = 1024
+
+// Leaf items are encoded as [keyLen u16][key][value]; internal items as
+// [keyLen u16][key][child u32] with an extra [prev u32] on shadow pages.
+// The page layer adds its own length framing, so the value needs no length
+// of its own.
+
+func encodeLeafItem(key, value []byte) []byte {
+	buf := make([]byte, 2+len(key)+len(value))
+	putU16(buf, len(key))
+	copy(buf[2:], key)
+	copy(buf[2+len(key):], value)
+	return buf
+}
+
+func decodeLeafItem(item []byte) (key, value []byte, err error) {
+	if len(item) < 2 {
+		return nil, nil, fmt.Errorf("%w: leaf item of %d bytes", page.ErrCorrupt, len(item))
+	}
+	k := getU16(item)
+	if 2+k > len(item) {
+		return nil, nil, fmt.Errorf("%w: leaf item key length %d exceeds item", page.ErrCorrupt, k)
+	}
+	return item[2 : 2+k], item[2+k:], nil
+}
+
+// internalItem is a decoded internal-page entry: the separator key, the
+// current child pointer, and (shadow only) the previous-version pointer.
+type internalItem struct {
+	sep   []byte
+	child uint32
+	prev  uint32
+}
+
+func encodeInternalItem(it internalItem, shadow bool) []byte {
+	n := 2 + len(it.sep) + 4
+	if shadow {
+		n += 4
+	}
+	buf := make([]byte, n)
+	putU16(buf, len(it.sep))
+	copy(buf[2:], it.sep)
+	putU32(buf[2+len(it.sep):], it.child)
+	if shadow {
+		putU32(buf[2+len(it.sep)+4:], it.prev)
+	}
+	return buf
+}
+
+func decodeInternalItem(item []byte, shadow bool) (internalItem, error) {
+	var it internalItem
+	if len(item) < 2 {
+		return it, fmt.Errorf("%w: internal item of %d bytes", page.ErrCorrupt, len(item))
+	}
+	k := getU16(item)
+	want := 2 + k + 4
+	if shadow {
+		want += 4
+	}
+	if len(item) < want {
+		return it, fmt.Errorf("%w: internal item %d bytes, want %d", page.ErrCorrupt, len(item), want)
+	}
+	it.sep = item[2 : 2+k]
+	it.child = u32At(item, 2+k)
+	if shadow {
+		it.prev = u32At(item, 2+k+4)
+	}
+	return it, nil
+}
+
+// itemKey extracts the key from any item without a full decode.
+func itemKey(item []byte) ([]byte, error) {
+	if len(item) < 2 {
+		return nil, fmt.Errorf("%w: item of %d bytes", page.ErrCorrupt, len(item))
+	}
+	k := getU16(item)
+	if 2+k > len(item) {
+		return nil, fmt.Errorf("%w: item key length %d exceeds item", page.ErrCorrupt, k)
+	}
+	return item[2 : 2+k], nil
+}
+
+func putU16(b []byte, v int) { b[0] = byte(v); b[1] = byte(v >> 8) }
+func getU16(b []byte) int    { return int(b[0]) | int(b[1])<<8 }
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+func u32At(b []byte, i int) uint32 {
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
+// cloneBytes copies b (nil stays nil).
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// keyLess reports a < b, with nil meaning "+infinity" on either side being
+// invalid here — plain byte comparison, empty key sorts first.
+func keyLess(a, b []byte) bool { return bytes.Compare(a, b) < 0 }
+
+// keyInRange reports lo <= k < hi, where a nil or empty lo means -infinity
+// and a nil hi means +infinity.
+func keyInRange(k, lo, hi []byte) bool {
+	if len(lo) > 0 && bytes.Compare(k, lo) < 0 {
+		return false
+	}
+	if hi != nil && bytes.Compare(k, hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+// rangeContains reports whether [aLo,aHi) contains [bLo,bHi).
+func rangeContains(aLo, aHi, bLo, bHi []byte) bool {
+	if len(aLo) > 0 && (len(bLo) == 0 || bytes.Compare(bLo, aLo) < 0) {
+		return false
+	}
+	if aHi != nil && (bHi == nil || bytes.Compare(bHi, aHi) > 0) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,296 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// buildThenGut creates a multi-level tree and deletes most keys, leaving a
+// trail of underfull leaves for the merge pass.
+func buildThenGut(t *testing.T, v Variant, n, keepEvery int) *Tree {
+	t.Helper()
+	tr, _ := newTree(t, v)
+	for i := 0; i < n; i++ {
+		mustInsert(t, tr, i)
+	}
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if i%keepEvery == 0 {
+			continue
+		}
+		if err := tr.Delete(u32key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestMergeUnderfullShrinksTree(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			const n = 8000
+			tr := buildThenGut(t, v, n, 50)
+			pagesBefore, err := tr.ReachablePages()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := tr.MergeUnderfull()
+			if err != nil {
+				t.Fatalf("MergeUnderfull: %v", err)
+			}
+			if st.Merged == 0 {
+				t.Fatal("expected merges on a gutted tree")
+			}
+			pagesAfter, err := tr.ReachablePages()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pagesAfter) >= len(pagesBefore) {
+				t.Fatalf("reachable pages %d -> %d: no shrinkage", len(pagesBefore), len(pagesAfter))
+			}
+			// Every surviving key still present, in order.
+			for i := 0; i < n; i += 50 {
+				mustLookup(t, tr, i)
+			}
+			cnt, err := tr.Count()
+			if err != nil || cnt != n/50 {
+				t.Fatalf("Count = %d, want %d (%v)", cnt, n/50, err)
+			}
+			if err := tr.Check(CheckStrict); err != nil {
+				t.Fatalf("Check after merge: %v", err)
+			}
+			// The index keeps working.
+			for i := n; i < n+500; i++ {
+				mustInsert(t, tr, i)
+			}
+			if err := tr.Check(CheckStrict); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMergeCollapsesRoot(t *testing.T) {
+	tr := buildThenGut(t, Shadow, 8000, 400)
+	hBefore, _ := tr.Height()
+	if _, err := tr.MergeUnderfull(); err != nil {
+		t.Fatal(err)
+	}
+	hAfter, _ := tr.Height()
+	if hAfter >= hBefore {
+		t.Fatalf("height %d -> %d: root never collapsed", hBefore, hAfter)
+	}
+	if err := tr.Check(CheckStrict); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8000; i += 400 {
+		mustLookup(t, tr, i)
+	}
+}
+
+func TestMergeNoopOnHealthyTree(t *testing.T) {
+	tr, _ := newTree(t, Reorg)
+	for i := 0; i < 5000; i++ {
+		mustInsert(t, tr, i)
+	}
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.MergeUnderfull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ascending builds leave half-full pages; a few edge merges are fine
+	// but the pass must not rewrite the tree wholesale.
+	if st.Merged > 10 {
+		t.Fatalf("healthy tree triggered %d merges", st.Merged)
+	}
+	if err := tr.Check(CheckStrict); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeCrashSafety crashes during the vulnerable window of a merge —
+// after the merged page is durable, around the parent update — for every
+// durable subset of the final sync.
+func TestMergeCrashSafety(t *testing.T) {
+	for _, v := range protectedVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			build := func() (*storage.MemDisk, *Tree, int) {
+				d := storage.NewMemDisk()
+				tr, err := Open(d, v, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				const n = 4000
+				for i := 0; i < n; i++ {
+					mustInsert(t, tr, i)
+				}
+				if err := tr.Sync(); err != nil {
+					t.Fatal(err)
+				}
+				survivors := 0
+				for i := 0; i < n; i++ {
+					if i%100 == 0 {
+						survivors++
+						continue
+					}
+					if err := tr.Delete(u32key(i)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := tr.Sync(); err != nil {
+					t.Fatal(err)
+				}
+				// The merge pass syncs internally after building each
+				// merged page; the parent updates and frees ride on
+				// in-memory state that we now crash away in subsets.
+				if _, err := tr.MergeUnderfull(); err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.Pool().FlushDirty(); err != nil {
+					t.Fatal(err)
+				}
+				return d, tr, survivors
+			}
+
+			probe, _, _ := build()
+			pending := probe.PendingPages()
+			if len(pending) == 0 {
+				t.Skip("merge pass left nothing pending")
+			}
+			masks := uint64(1) << len(pending)
+			if len(pending) > 10 {
+				masks = 1024 // sample
+			}
+			for mask := uint64(0); mask < masks; mask++ {
+				d, _, survivors := build()
+				if err := d.CrashPartial(storage.CrashSubsetMask(mask)); err != nil {
+					t.Fatal(err)
+				}
+				tr2, err := Open(d, v, Options{})
+				if err != nil {
+					t.Fatalf("mask %b: %v", mask, err)
+				}
+				found := 0
+				for i := 0; i < 4000; i += 100 {
+					if _, err := tr2.Lookup(u32key(i)); err != nil {
+						t.Fatalf("mask %b: committed survivor %d lost: %v", mask, i, err)
+					}
+					found++
+				}
+				if found != survivors {
+					t.Fatalf("mask %b: %d/%d survivors", mask, found, survivors)
+				}
+				if err := tr2.RecoverAll(); err != nil {
+					t.Fatalf("mask %b: RecoverAll: %v", mask, err)
+				}
+				if err := tr2.Check(CheckStrict); err != nil {
+					t.Fatalf("mask %b: Check: %v", mask, err)
+				}
+			}
+		})
+	}
+}
+
+func TestMergeEmptyAndTinyTrees(t *testing.T) {
+	tr, _ := newTree(t, Shadow)
+	if st, err := tr.MergeUnderfull(); err != nil || st.Merged != 0 {
+		t.Fatalf("empty tree: %+v, %v", st, err)
+	}
+	mustInsert(t, tr, 1)
+	if st, err := tr.MergeUnderfull(); err != nil || st.Merged != 0 {
+		t.Fatalf("single-leaf tree: %+v, %v", st, err)
+	}
+	if _, err := tr.Lookup(u32key(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVacuumAfterMergeReclaims(t *testing.T) {
+	tr := buildThenGut(t, Shadow, 6000, 60)
+	if _, err := tr.MergeUnderfull(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The merged-away pages land on the freelist via freeAfterSync.
+	if tr.Freelist().Len() == 0 {
+		t.Fatal("merged pages never reached the freelist")
+	}
+	if err := tr.Check(CheckStrict); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergePreservesEveryKeyProperty(t *testing.T) {
+	// A denser variant-crossing assertion: merge a tree with arbitrary
+	// survivor patterns and diff the full key set before and after.
+	for _, keep := range []int{3, 7, 33} {
+		tr := buildThenGut(t, Hybrid, 3000, keep)
+		var before []string
+		err := tr.Scan(nil, nil, func(k, _ []byte) bool {
+			before = append(before, string(k))
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.MergeUnderfull(); err != nil {
+			t.Fatal(err)
+		}
+		var after []string
+		err = tr.Scan(nil, nil, func(k, _ []byte) bool {
+			after = append(after, string(k))
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(before) != len(after) {
+			t.Fatalf("keep=%d: %d keys -> %d", keep, len(before), len(after))
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("keep=%d: key %d changed: %q -> %q", keep, i, before[i], after[i])
+			}
+		}
+	}
+}
+
+func TestMergeThenDeleteEverything(t *testing.T) {
+	tr := buildThenGut(t, Reorg, 3000, 10)
+	if _, err := tr.MergeUnderfull(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i += 10 {
+		if err := tr.Delete(u32key(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	cnt, err := tr.Count()
+	if err != nil || cnt != 0 {
+		t.Fatalf("Count = %d, %v", cnt, err)
+	}
+	if _, err := tr.Lookup(u32key(0)); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatal("emptied tree still finds keys")
+	}
+	// Fill it back up.
+	for i := 0; i < 1000; i++ {
+		if err := tr.Insert(u32key(i), []byte(fmt.Sprintf("again-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Check(CheckStrict); err != nil {
+		t.Fatal(err)
+	}
+}

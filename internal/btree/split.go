@@ -1,0 +1,227 @@
+package btree
+
+import (
+	"bytes"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+)
+
+// splitShadow implements Technique One (§3.3). Two new pages are allocated
+// and half of P's keys are copied to each; P's keys are neither modified
+// nor overwritten, so its stable-storage image remains the recovery source
+// until both halves are durable. If P itself was written to stable storage
+// (its sync token predates the current epoch) it becomes the prevPtr for
+// both K1 and K2 and is freed only after the next sync; if P was created in
+// the current epoch — two splits at the same key between syncs — K1's
+// existing prevPtr is reused and P is freed immediately (step 3).
+func (t *Tree) splitShadow(node *pathEntry, lowItems, highItems [][]byte, sep []byte) (promo, error) {
+	p := node.frame.Data
+	level := p.Level()
+	oldTok := p.SyncToken()
+	leftPeer, rightPeer := p.LeftPeer(), p.RightPeer()
+
+	lowNo, lowF, err := t.allocPage(node.lo, sep)
+	if err != nil {
+		return promo{}, err
+	}
+	defer lowF.Unpin()
+	highNo, highF, err := t.allocPage(sep, node.hi)
+	if err != nil {
+		return promo{}, err
+	}
+	defer highF.Unpin()
+
+	t.initTreePage(lowF, level)
+	if err := buildPage(lowF.Data, lowItems); err != nil {
+		return promo{}, err
+	}
+	t.initTreePage(highF, level)
+	if err := buildPage(highF.Data, highItems); err != nil {
+		return promo{}, err
+	}
+	if level == 0 {
+		if err := t.relinkPeers(leftPeer, rightPeer, lowNo, lowF, highNo, highF); err != nil {
+			return promo{}, err
+		}
+	}
+	lowF.MarkDirty()
+	highF.MarkDirty()
+
+	// §3.6: concurrent descents holding a stale pointer to P chase its
+	// newPage pointer to the new left page, as in Lehman-Yao.
+	p.SetNewPage(lowNo)
+
+	pr := promo{sep: sep, lowNo: lowNo, highNo: highNo, lowChanged: true}
+	if t.durable(oldTok) {
+		pr.prev = node.no
+		pr.prevValid = true
+		t.freeAfterSync(node.no, node.lo, node.hi)
+	} else {
+		// P never reached stable storage: the existing prevPtr still
+		// covers this range and P's page can be reused at once.
+		t.freeNow(node.no, node.lo, node.hi)
+	}
+	return pr, nil
+}
+
+// splitNormal is the baseline in-place split of an ordinary B-link tree:
+// the low half stays on the original page (whose item area is rewritten)
+// and the high half moves to a new page. A crash that persists the parent
+// but not both halves corrupts the index — that is precisely the exposure
+// Techniques One and Two remove.
+func (t *Tree) splitNormal(node *pathEntry, lowItems, highItems [][]byte, sep []byte) (promo, error) {
+	p := node.frame.Data
+	level := p.Level()
+	leftPeer, rightPeer := p.LeftPeer(), p.RightPeer()
+
+	highNo, highF, err := t.allocPage(sep, node.hi)
+	if err != nil {
+		return promo{}, err
+	}
+	defer highF.Unpin()
+	t.initTreePage(highF, level)
+	if err := buildPage(highF.Data, highItems); err != nil {
+		return promo{}, err
+	}
+
+	t.initTreePage(node.frame, level)
+	if err := buildPage(p, lowItems); err != nil {
+		return promo{}, err
+	}
+	if level == 0 {
+		if err := t.relinkPeers(leftPeer, rightPeer, node.no, node.frame, highNo, highF); err != nil {
+			return promo{}, err
+		}
+	}
+	node.frame.MarkDirty()
+	highF.MarkDirty()
+	return promo{sep: sep, lowNo: node.no, highNo: highNo, lowChanged: false}, nil
+}
+
+// splitReorg implements Technique Two (§3.4). P_b — the half that will
+// receive the key that caused the split — is allocated normally; P_a is
+// built in memory only, holding its own half as live keys plus P_b's keys
+// duplicated in its free space behind a backup line table, and is then
+// remapped to P's location on disk (step 5). Until a sync commits both
+// halves, P's stable image (or, once written, P_a's backups) can regenerate
+// anything a crash loses.
+func (t *Tree) splitReorg(node *pathEntry, lowItems, highItems [][]byte, sep []byte, hintKey []byte) (promo, error) {
+	p := node.frame.Data
+	level := p.Level()
+	oldTok := p.SyncToken()
+	leftPeer, rightPeer := p.LeftPeer(), p.RightPeer()
+
+	pbIsHigh := hintKey == nil || bytes.Compare(hintKey, sep) >= 0
+	var pbLo, pbHi []byte
+	var liveA, liveB [][]byte
+	if pbIsHigh {
+		pbLo, pbHi = sep, node.hi
+		liveA, liveB = lowItems, highItems
+	} else {
+		pbLo, pbHi = node.lo, sep
+		liveA, liveB = highItems, lowItems
+	}
+
+	pbNo, pbF, err := t.allocPage(pbLo, pbHi)
+	if err != nil {
+		return promo{}, err
+	}
+	defer pbF.Unpin()
+	t.initTreePage(pbF, level)
+	if err := buildPage(pbF.Data, liveB); err != nil {
+		return promo{}, err
+	}
+	pbF.MarkDirty()
+
+	// Step 1: P_a exists in memory only until the remap gives it P's
+	// disk identity.
+	paF := t.pool.NewDetached()
+	defer paF.Unpin()
+	t.initTreePage(paF, level)
+	if err := buildPage(paF.Data, liveA); err != nil {
+		return promo{}, err
+	}
+	// Steps 2–3: duplicate P_b's keys into P_a's free space with a line
+	// table just beyond P_a's own.
+	if err := attachBackups(paF.Data, liveB); err != nil {
+		return promo{}, err
+	}
+	paF.Data.SetNewPage(pbNo)
+
+	var lowNo, highNo uint32
+	var lowF, highF *buffer.Frame
+	if pbIsHigh {
+		lowNo, lowF = node.no, paF
+		highNo, highF = pbNo, pbF
+	} else {
+		lowNo, lowF = pbNo, pbF
+		highNo, highF = node.no, paF
+	}
+	if level == 0 {
+		if err := t.relinkPeers(leftPeer, rightPeer, lowNo, lowF, highNo, highF); err != nil {
+			return promo{}, err
+		}
+	}
+
+	// Step 5: remap P_a over P. The path entry now refers to the
+	// replaced frame; swap in the live one, preserving pin balance.
+	t.pool.Remap(paF, node.no)
+	paF.Pin() // pin transferred to the path entry
+	node.frame.Unpin()
+	node.frame = paF
+
+	pr := promo{sep: sep, lowNo: lowNo, highNo: highNo, lowChanged: !pbIsHigh}
+	if t.durable(oldTok) {
+		// P's stable image covers the whole pre-split range; it is
+		// what a lost root pointer falls back to.
+		pr.prev = node.no
+		pr.prevValid = true
+	}
+	return pr, nil
+}
+
+// relinkPeers stitches the two halves of a leaf split into the B-link peer
+// chain and resets the peer-pointer sync tokens on both ends of every
+// touched link (§3.5.1): a link is trusted only while the tokens on its two
+// ends agree.
+func (t *Tree) relinkPeers(leftPeer, rightPeer uint32, lowNo uint32, lowF *buffer.Frame, highNo uint32, highF *buffer.Frame) error {
+	tok := t.counter.Current()
+
+	lowF.Data.SetRightPeer(highNo)
+	lowF.Data.SetRightPeerToken(tok)
+	highF.Data.SetLeftPeer(lowNo)
+	highF.Data.SetLeftPeerToken(tok)
+
+	lowF.Data.SetLeftPeer(leftPeer)
+	if leftPeer != 0 {
+		lf, err := t.pool.Get(leftPeer)
+		if err != nil {
+			return err
+		}
+		if lf.Data.Valid() && lf.Data.Type() == page.TypeLeaf {
+			lf.Data.SetRightPeer(lowNo)
+			lf.Data.SetRightPeerToken(tok)
+			lowF.Data.SetLeftPeerToken(tok)
+			lf.MarkDirty()
+		}
+		lf.Unpin()
+	}
+	highF.Data.SetRightPeer(rightPeer)
+	if rightPeer != 0 {
+		rf, err := t.pool.Get(rightPeer)
+		if err != nil {
+			return err
+		}
+		if rf.Data.Valid() && rf.Data.Type() == page.TypeLeaf {
+			rf.Data.SetLeftPeer(highNo)
+			rf.Data.SetLeftPeerToken(tok)
+			highF.Data.SetRightPeerToken(tok)
+			rf.MarkDirty()
+		}
+		rf.Unpin()
+	}
+	lowF.MarkDirty()
+	highF.MarkDirty()
+	return nil
+}

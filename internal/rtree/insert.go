@@ -1,0 +1,639 @@
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+)
+
+// Insert adds <rect, id> to the tree.
+func (t *Tree) Insert(r Rect, id uint64) error {
+	if !r.Valid() {
+		return fmt.Errorf("rtree: invalid rectangle %+v", r)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	m, err := t.readMeta()
+	if err != nil {
+		return err
+	}
+	if m.root == 0 {
+		// First insert: create the root leaf.
+		no, f, err := t.allocPage()
+		if err != nil {
+			return err
+		}
+		t.initNode(f, 0)
+		if err := appendEntry(f, encodeLeafEntry(entry{rect: r, id: id})); err != nil {
+			f.Unpin()
+			return err
+		}
+		tok := f.Data.SyncToken()
+		f.Unpin()
+		return t.writeMeta(metaState{root: no, rootToken: tok, height: 1})
+	}
+
+	// ChooseLeaf with repair-on-descent.
+	path, err := t.chooseLeafPath(m, r)
+	if err != nil {
+		return err
+	}
+	defer releaseNodePath(path)
+
+	leaf := path[len(path)-1]
+	if leaf.frame.Data.NKeys() < maxEntries {
+		if err := appendEntry(leaf.frame, encodeLeafEntry(entry{rect: r, id: id})); err != nil {
+			return err
+		}
+		return t.adjustUpward(path, r)
+	}
+	// Split the leaf, then insert into whichever half encloses better.
+	return t.splitAndInsert(path, entry{rect: r, id: id})
+}
+
+// nodeRef is one step of a root-to-leaf path.
+type nodeRef struct {
+	no    uint32
+	frame *buffer.Frame
+	idx   int // entry index followed in THIS node (-1 at the leaf)
+}
+
+func releaseNodePath(path []nodeRef) {
+	for _, n := range path {
+		n.frame.Unpin()
+	}
+}
+
+// chooseLeafPath descends by minimum-enlargement (ties: minimum area,
+// then lowest index — keeping the walk deterministic), verifying and
+// repairing each child on the way.
+func (t *Tree) chooseLeafPath(m metaState, r Rect) ([]nodeRef, error) {
+	rootFrame, err := t.verifiedRoot(&m)
+	if err != nil {
+		return nil, err
+	}
+	path := []nodeRef{{no: m.root, frame: rootFrame, idx: -1}}
+	for {
+		cur := &path[len(path)-1]
+		p := cur.frame.Data
+		if p.Type() == page.TypeLeaf {
+			return path, nil
+		}
+		entries, err := nodeEntries(p)
+		if err != nil {
+			releaseNodePath(path)
+			return nil, err
+		}
+		if len(entries) == 0 {
+			releaseNodePath(path)
+			return nil, fmt.Errorf("%w: empty internal node %d", ErrUnrecoverable, cur.no)
+		}
+		best := 0
+		bestEnl := int64(-1)
+		bestArea := int64(-1)
+		for i, e := range entries {
+			enl := e.rect.Union(r).Area() - e.rect.Area()
+			if bestEnl < 0 || enl < bestEnl || (enl == bestEnl && e.rect.Area() < bestArea) {
+				best, bestEnl, bestArea = i, enl, e.rect.Area()
+			}
+		}
+		cur.idx = best
+		childFrame, err := t.loadChild(cur, best)
+		if err != nil {
+			releaseNodePath(path)
+			return nil, err
+		}
+		path = append(path, nodeRef{no: childNoOf(cur.frame.Data, best), frame: childFrame, idx: -1})
+	}
+}
+
+func childNoOf(p page.Page, i int) uint32 {
+	item := p.Item(i)
+	if item == nil || len(item) != entryPayload {
+		return 0
+	}
+	return getU32(item[16:])
+}
+
+// verifiedRoot returns the pinned root, repairing a lost one from the
+// previous root exactly as the B-tree does.
+func (t *Tree) verifiedRoot(m *metaState) (*buffer.Frame, error) {
+	f, err := t.pool.Get(m.root)
+	if err != nil {
+		return nil, err
+	}
+	p := f.Data
+	wantType := page.TypeLeaf
+	if m.height > 1 {
+		wantType = page.TypeInternal
+	}
+	if p.Valid() && p.Type() == wantType && p.SyncToken() == m.rootToken {
+		t.fixIntraNode(f)
+		return f, nil
+	}
+	// Accept an in-place newer root (interrupted replacement), else fall
+	// back to the previous root.
+	if p.Valid() && (p.Type() == page.TypeLeaf || p.Type() == page.TypeInternal) &&
+		p.SyncToken() > m.rootToken {
+		m.rootToken = t.counter.Current()
+		p.SetSyncToken(m.rootToken)
+		m.height = p.Level() + 1
+		f.MarkDirty()
+		t.Repairs++
+		return f, t.writeMeta(*m)
+	}
+	if m.prevRoot == 0 {
+		t.initNode(f, 0)
+		m.rootToken = f.Data.SyncToken()
+		m.height = 1
+		t.Repairs++
+		return f, t.writeMeta(*m)
+	}
+	prevFrame, err := t.pool.Get(m.prevRoot)
+	if err != nil {
+		f.Unpin()
+		return nil, err
+	}
+	if !prevFrame.Data.Valid() {
+		prevFrame.Unpin()
+		f.Unpin()
+		return nil, fmt.Errorf("%w: previous root %d not durable", ErrUnrecoverable, m.prevRoot)
+	}
+	copy(f.Data, prevFrame.Data)
+	prevFrame.Unpin()
+	f.Data.SetSyncToken(t.counter.Current())
+	f.MarkDirty()
+	m.rootToken = f.Data.SyncToken()
+	m.height = f.Data.Level() + 1
+	t.Repairs++
+	return f, t.writeMeta(*m)
+}
+
+// fixIntraNode repairs an interrupted line-table update.
+func (t *Tree) fixIntraNode(f *buffer.Frame) {
+	if f.Data.HasFlag(page.FlagLineClean) {
+		return
+	}
+	if f.Data.FindDuplicateSlot() >= 0 {
+		f.Data.RepairDuplicates()
+		t.Repairs++
+	}
+	f.Data.AddFlag(page.FlagLineClean)
+	f.MarkDirty()
+}
+
+// loadChild reads, verifies, and repairs the child at entry idx.
+func (t *Tree) loadChild(parent *nodeRef, idx int) (*buffer.Frame, error) {
+	item := parent.frame.Data.Item(idx)
+	if item == nil || len(item) != entryPayload {
+		return nil, fmt.Errorf("%w: malformed entry %d in node %d", ErrUnrecoverable, idx, parent.no)
+	}
+	e, err := decodeInternalEntry(item)
+	if err != nil {
+		return nil, err
+	}
+	wantLevel := parent.frame.Data.Level() - 1
+	f, err := t.pool.Get(e.child)
+	if err != nil {
+		return nil, err
+	}
+	p := f.Data
+	wantType := page.TypeLeaf
+	if wantLevel > 0 {
+		wantType = page.TypeInternal
+	}
+	if !p.Valid() || p.Type() != wantType || p.Level() != wantLevel {
+		// Interrupted split: reexecute it from the pre-split node.
+		if err := t.redoSplit(parent, idx, e, f); err != nil {
+			f.Unpin()
+			return nil, err
+		}
+	}
+	t.fixIntraNode(f)
+	// Rectangle analogue of the range check: a child that outgrew the
+	// parent entry (the AdjustTree write was lost) is reconciled by
+	// widening the parent — always legal, and the growth was uncommitted.
+	entries, err := nodeEntries(f.Data)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) > 0 {
+		childMBR := mbr(entries)
+		if !e.rect.Contains(childMBR) {
+			widened := e.rect.Union(childMBR)
+			encodeRect(item, widened)
+			parent.frame.MarkDirty()
+			t.Widenings++
+		}
+	}
+	return f, nil
+}
+
+// redoSplit reexecutes the interrupted split that created the lost child —
+// "consistency is restored by reexecuting incomplete page split operations".
+// The pair of entries sharing the same prevPtr is repaired coherently:
+//
+//   - If the sibling half survived, the lost half is exactly the pre-split
+//     entries the sibling does NOT hold (identity comparison — entries the
+//     sibling gained after the split were uncommitted and harmless).
+//   - If both halves are lost, the deterministic quadratic split is re-run
+//     on the pre-split node and the two groups are assigned canonically
+//     (lower child page number takes group A), both halves rebuilt at once.
+//   - With no sibling entry at all, the child takes everything.
+//
+// In every case the parent entry's rectangle is widened to cover what was
+// rebuilt; over-coverage is always legal in an R-tree.
+func (t *Tree) redoSplit(parent *nodeRef, idx int, e entry, childFrame *buffer.Frame) error {
+	if e.prev == 0 {
+		return fmt.Errorf("%w: child %d of node %d lost with no previous version",
+			ErrUnrecoverable, e.child, parent.no)
+	}
+	prevFrame, err := t.pool.Get(e.prev)
+	if err != nil {
+		return err
+	}
+	defer prevFrame.Unpin()
+	if !prevFrame.Data.Valid() {
+		return fmt.Errorf("%w: previous node %d not durable", ErrUnrecoverable, e.prev)
+	}
+	prevEntries, err := nodeEntries(prevFrame.Data)
+	if err != nil {
+		return err
+	}
+	level := parent.frame.Data.Level() - 1
+	pp := parent.frame.Data
+
+	// Locate the sibling entry created by the same split.
+	sibIdx := -1
+	var sib entry
+	for j := 0; j < pp.NKeys(); j++ {
+		if j == idx {
+			continue
+		}
+		item := pp.Item(j)
+		if item == nil || len(item) != entryPayload {
+			continue
+		}
+		se, err := decodeInternalEntry(item)
+		if err != nil || se.prev != e.prev || se.child == e.child {
+			continue
+		}
+		sibIdx = j
+		sib = se
+		break
+	}
+
+	rebuild := func(f *buffer.Frame, entryIdx int, ent entry, group []entry) error {
+		t.initNode(f, level)
+		leaf := level == 0
+		for _, ge := range group {
+			var payload []byte
+			if leaf {
+				payload = encodeLeafEntry(ge)
+			} else {
+				payload = encodeInternalEntry(ge)
+			}
+			if err := appendEntry(f, payload); err != nil {
+				return err
+			}
+		}
+		item := pp.Item(entryIdx)
+		if len(group) > 0 {
+			encodeRect(item, ent.rect.Union(mbr(group)))
+		}
+		parent.frame.MarkDirty()
+		return nil
+	}
+
+	if sibIdx >= 0 {
+		sf, err := t.pool.Get(sib.child)
+		if err != nil {
+			return err
+		}
+		wantType := page.TypeLeaf
+		if level > 0 {
+			wantType = page.TypeInternal
+		}
+		sibValid := sf.Data.Valid() && sf.Data.Type() == wantType && sf.Data.Level() == level
+		if sibValid {
+			// The lost half is the pre-split set minus what the
+			// surviving sibling holds.
+			sibEntries, err := nodeEntries(sf.Data)
+			sf.Unpin()
+			if err != nil {
+				return err
+			}
+			have := make(map[entryKey]bool, len(sibEntries))
+			for _, se := range sibEntries {
+				have[keyOf(se, level == 0)] = true
+			}
+			var mine []entry
+			for _, pe := range prevEntries {
+				if !have[keyOf(pe, level == 0)] {
+					mine = append(mine, pe)
+				}
+			}
+			t.Repairs++
+			return rebuild(childFrame, idx, e, mine)
+		}
+		// Both halves lost: redo the deterministic split, assign
+		// canonically, rebuild both.
+		groupA, groupB := quadraticSplit(prevEntries)
+		mineGroup, sibGroup := groupA, groupB
+		if e.child > sib.child {
+			mineGroup, sibGroup = groupB, groupA
+		}
+		if err := rebuild(childFrame, idx, e, mineGroup); err != nil {
+			sf.Unpin()
+			return err
+		}
+		err = rebuild(sf, sibIdx, sib, sibGroup)
+		sf.Unpin()
+		if err != nil {
+			return err
+		}
+		t.Repairs += 2
+		return nil
+	}
+	// No sibling entry: the child takes the whole pre-split node.
+	t.Repairs++
+	return rebuild(childFrame, idx, e, prevEntries)
+}
+
+// entryKey identifies an entry for set-difference during repair.
+type entryKey struct {
+	rect Rect
+	id   uint64
+	ptr  uint32
+}
+
+func keyOf(e entry, leaf bool) entryKey {
+	if leaf {
+		return entryKey{rect: e.rect, id: e.id}
+	}
+	return entryKey{ptr: e.child}
+}
+
+// adjustUpward widens the rectangles along the insertion path (AdjustTree).
+func (t *Tree) adjustUpward(path []nodeRef, r Rect) error {
+	for i := len(path) - 2; i >= 0; i-- {
+		n := path[i]
+		item := n.frame.Data.Item(n.idx)
+		if item == nil {
+			return fmt.Errorf("%w: adjust lost entry", ErrUnrecoverable)
+		}
+		cur := decodeRect(item)
+		u := cur.Union(r)
+		if u == cur {
+			return nil // no further growth upward
+		}
+		encodeRect(item, u)
+		n.frame.MarkDirty()
+	}
+	return nil
+}
+
+// splitAndInsert splits the full leaf at the end of the path, inserting the
+// new entry into the better half, and propagates the split upward.
+func (t *Tree) splitAndInsert(path []nodeRef, newEntry entry) error {
+	t.Splits++
+	depth := len(path) - 1
+	node := path[depth]
+	entries, err := nodeEntries(node.frame.Data)
+	if err != nil {
+		return err
+	}
+	all := append(append([]entry{}, entries...), newEntry)
+	groupA, groupB := quadraticSplit(all)
+	return t.replaceWithSplit(path, depth, groupA, groupB)
+}
+
+// replaceWithSplit writes the two groups to two NEW pages (never touching
+// the split node), updates the parent with the §3.3 step order, and
+// recurses when the parent overflows.
+func (t *Tree) replaceWithSplit(path []nodeRef, depth int, groupA, groupB []entry) error {
+	node := path[depth]
+	level := node.frame.Data.Level()
+	oldTok := node.frame.Data.SyncToken()
+	leaf := level == 0
+
+	build := func(group []entry) (uint32, error) {
+		no, f, err := t.allocPage()
+		if err != nil {
+			return 0, err
+		}
+		t.initNode(f, level)
+		for _, ge := range group {
+			var payload []byte
+			if leaf {
+				payload = encodeLeafEntry(ge)
+			} else {
+				payload = encodeInternalEntry(ge)
+			}
+			if err := appendEntry(f, payload); err != nil {
+				f.Unpin()
+				return 0, err
+			}
+		}
+		f.Unpin()
+		return no, nil
+	}
+	nA, err := build(groupA)
+	if err != nil {
+		return err
+	}
+	nB, err := build(groupB)
+	if err != nil {
+		return err
+	}
+	// prevPtr policy (§3.3 steps 2–3): the split node if durable, else
+	// the existing prevPtr is reused by the parent update below.
+	durable := oldTok < t.counter.Current()
+
+	if depth == 0 {
+		// Root split: a new root with two entries pointing at the
+		// halves; the meta page keeps the previous root.
+		m, err := t.readMeta()
+		if err != nil {
+			return err
+		}
+		no, f, err := t.allocPage()
+		if err != nil {
+			return err
+		}
+		t.initNode(f, level+1)
+		prev := node.no
+		if !durable {
+			prev = m.prevRoot
+		}
+		if err := appendEntry(f, encodeInternalEntry(entry{rect: mbr(groupA), child: nA, prev: prev})); err != nil {
+			f.Unpin()
+			return err
+		}
+		if err := appendEntry(f, encodeInternalEntry(entry{rect: mbr(groupB), child: nB, prev: prev})); err != nil {
+			f.Unpin()
+			return err
+		}
+		tok := f.Data.SyncToken()
+		f.Unpin()
+		newMeta := metaState{root: no, rootToken: tok, height: level + 2}
+		if durable {
+			newMeta.prevRoot = node.no
+		} else {
+			newMeta.prevRoot = m.prevRoot
+		}
+		return t.writeMeta(newMeta)
+	}
+
+	// Non-root: update the parent. Step order as in §3.3: the new entry
+	// K2 is added first (careful line-table protocol), then K1 is
+	// patched in place to the new A half.
+	parent := path[depth-1]
+	pp := parent.frame.Data
+	k1Item := pp.Item(parent.idx)
+	if k1Item == nil {
+		return fmt.Errorf("%w: parent entry lost during split", ErrUnrecoverable)
+	}
+	oldK1, err := decodeInternalEntry(k1Item)
+	if err != nil {
+		return err
+	}
+	prev := node.no
+	if !durable {
+		prev = oldK1.prev
+	}
+	if pp.NKeys() >= maxEntries {
+		// Parent overflow: fold K1's replacement and K2 into the
+		// parent's entry set and split the parent instead.
+		pEntries, err := nodeEntries(pp)
+		if err != nil {
+			return err
+		}
+		rebuilt := make([]entry, 0, len(pEntries)+1)
+		for i, pe := range pEntries {
+			if i == parent.idx {
+				rebuilt = append(rebuilt,
+					entry{rect: mbr(groupA), child: nA, prev: prev},
+					entry{rect: mbr(groupB), child: nB, prev: prev})
+				continue
+			}
+			rebuilt = append(rebuilt, pe)
+		}
+		gA, gB := quadraticSplit(rebuilt)
+		return t.replaceWithSplit(path, depth-1, gA, gB)
+	}
+	// K2 first.
+	if err := appendEntry(parent.frame, encodeInternalEntry(entry{rect: mbr(groupB), child: nB, prev: prev})); err != nil {
+		return err
+	}
+	// Then patch K1 in place: rect, child, prev.
+	encodeRect(k1Item, mbr(groupA))
+	putU32(k1Item[16:], nA)
+	putU32(k1Item[20:], prev)
+	parent.frame.MarkDirty()
+	// The split chain ends here: ancestors above the parent still need
+	// their rectangles widened to cover the split's contents.
+	return t.widenAncestors(path, depth-1, mbr(groupA).Union(mbr(groupB)))
+}
+
+// widenAncestors widens the followed entry's rectangle in every node above
+// path[upto] to cover r.
+func (t *Tree) widenAncestors(path []nodeRef, upto int, r Rect) error {
+	for i := upto - 1; i >= 0; i-- {
+		n := path[i]
+		item := n.frame.Data.Item(n.idx)
+		if item == nil || len(item) != entryPayload {
+			return fmt.Errorf("%w: ancestor entry lost during widen", ErrUnrecoverable)
+		}
+		cur := decodeRect(item)
+		u := cur.Union(r)
+		if u == cur {
+			return nil
+		}
+		encodeRect(item, u)
+		n.frame.MarkDirty()
+	}
+	return nil
+}
+
+// quadraticSplit is Guttman's quadratic split, deterministic for a given
+// entry order — the property recovery relies on to reexecute it.
+func quadraticSplit(entries []entry) (groupA, groupB []entry) {
+	if len(entries) < 2 {
+		return entries, nil
+	}
+	// PickSeeds: the pair wasting the most area.
+	s1, s2 := 0, 1
+	worst := int64(-1 << 62)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].rect.Union(entries[j].rect).Area() -
+				entries[i].rect.Area() - entries[j].rect.Area()
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	groupA = []entry{entries[s1]}
+	groupB = []entry{entries[s2]}
+	rA, rB := entries[s1].rect, entries[s2].rect
+	remaining := make([]entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			remaining = append(remaining, e)
+		}
+	}
+	for len(remaining) > 0 {
+		// Force-assign when a group must take everything to reach m.
+		if len(groupA)+len(remaining) <= minFill {
+			groupA = append(groupA, remaining...)
+			break
+		}
+		if len(groupB)+len(remaining) <= minFill {
+			groupB = append(groupB, remaining...)
+			break
+		}
+		// PickNext: the entry with the strongest preference.
+		bestI, bestDiff := 0, int64(-1)
+		for i, e := range remaining {
+			dA := rA.Union(e.rect).Area() - rA.Area()
+			dB := rB.Union(e.rect).Area() - rB.Area()
+			diff := dA - dB
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff, bestI = diff, i
+			}
+		}
+		e := remaining[bestI]
+		remaining = append(remaining[:bestI], remaining[bestI+1:]...)
+		dA := rA.Union(e.rect).Area() - rA.Area()
+		dB := rB.Union(e.rect).Area() - rB.Area()
+		// Ties resolved deterministically: enlargement, then area,
+		// then group size, then group A.
+		switch {
+		case dA < dB:
+			groupA = append(groupA, e)
+			rA = rA.Union(e.rect)
+		case dB < dA:
+			groupB = append(groupB, e)
+			rB = rB.Union(e.rect)
+		case rA.Area() < rB.Area():
+			groupA = append(groupA, e)
+			rA = rA.Union(e.rect)
+		case rB.Area() < rA.Area():
+			groupB = append(groupB, e)
+			rB = rB.Union(e.rect)
+		case len(groupA) <= len(groupB):
+			groupA = append(groupA, e)
+			rA = rA.Union(e.rect)
+		default:
+			groupB = append(groupB, e)
+			rB = rB.Union(e.rect)
+		}
+	}
+	return groupA, groupB
+}

@@ -1,0 +1,240 @@
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/page"
+)
+
+// Hit is one search result.
+type Hit struct {
+	Rect Rect
+	ID   uint64
+}
+
+// Search returns every entry whose rectangle intersects query. Damage left
+// by a crash is detected and repaired on the way — recovery on first use.
+func (t *Tree) Search(query Rect) ([]Hit, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, err := t.readMeta()
+	if err != nil {
+		return nil, err
+	}
+	if m.root == 0 {
+		return nil, nil
+	}
+	rootFrame, err := t.verifiedRoot(&m)
+	if err != nil {
+		return nil, err
+	}
+	var hits []Hit
+	err = t.searchNode(nodeRef{no: m.root, frame: rootFrame, idx: -1}, query, &hits)
+	rootFrame.Unpin()
+	return hits, err
+}
+
+func (t *Tree) searchNode(n nodeRef, query Rect, hits *[]Hit) error {
+	p := n.frame.Data
+	if p.Type() == page.TypeLeaf {
+		for i := 0; i < p.NKeys(); i++ {
+			e, err := decodeLeafEntry(p.Item(i))
+			if err != nil {
+				return err
+			}
+			if e.rect.Intersects(query) {
+				*hits = append(*hits, Hit{Rect: e.rect, ID: e.id})
+			}
+		}
+		return nil
+	}
+	for i := 0; i < p.NKeys(); i++ {
+		e, err := decodeInternalEntry(p.Item(i))
+		if err != nil {
+			return err
+		}
+		if !e.rect.Intersects(query) {
+			continue
+		}
+		cur := n
+		cur.idx = i
+		childFrame, err := t.loadChild(&cur, i)
+		if err != nil {
+			return err
+		}
+		err = t.searchNode(nodeRef{no: childNoOf(p, i), frame: childFrame, idx: -1}, query, hits)
+		childFrame.Unpin()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes the entry with the exact rectangle and id. Underfull
+// nodes are left in place (condensation is vacuum work, as with the
+// B-tree's merges).
+func (t *Tree) Delete(r Rect, id uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, err := t.readMeta()
+	if err != nil {
+		return err
+	}
+	if m.root == 0 {
+		return fmt.Errorf("%w: rect %+v id %d", ErrNotFound, r, id)
+	}
+	rootFrame, err := t.verifiedRoot(&m)
+	if err != nil {
+		return err
+	}
+	found, err := t.deleteIn(nodeRef{no: m.root, frame: rootFrame, idx: -1}, r, id)
+	rootFrame.Unpin()
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: rect %+v id %d", ErrNotFound, r, id)
+	}
+	return nil
+}
+
+func (t *Tree) deleteIn(n nodeRef, r Rect, id uint64) (bool, error) {
+	p := n.frame.Data
+	if p.Type() == page.TypeLeaf {
+		for i := 0; i < p.NKeys(); i++ {
+			e, err := decodeLeafEntry(p.Item(i))
+			if err != nil {
+				return false, err
+			}
+			if e.id == id && e.rect == r {
+				p.ClearFlag(page.FlagLineClean)
+				if err := p.DeleteSlot(i); err != nil {
+					return false, err
+				}
+				p.AddFlag(page.FlagLineClean)
+				n.frame.MarkDirty()
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	for i := 0; i < p.NKeys(); i++ {
+		e, err := decodeInternalEntry(p.Item(i))
+		if err != nil {
+			return false, err
+		}
+		if !e.rect.Intersects(r) {
+			continue
+		}
+		cur := n
+		cur.idx = i
+		childFrame, err := t.loadChild(&cur, i)
+		if err != nil {
+			return false, err
+		}
+		found, err := t.deleteIn(nodeRef{no: childNoOf(p, i), frame: childFrame, idx: -1}, r, id)
+		childFrame.Unpin()
+		if err != nil || found {
+			return found, err
+		}
+	}
+	return false, nil
+}
+
+// Count returns the number of stored entries.
+func (t *Tree) Count() (int, error) {
+	hits, err := t.Search(Rect{MinX: -1 << 30, MinY: -1 << 30, MaxX: 1 << 30, MaxY: 1 << 30})
+	if err != nil {
+		return 0, err
+	}
+	return len(hits), nil
+}
+
+// RecoverAll walks the whole tree, completing every pending lazy repair.
+func (t *Tree) RecoverAll() error {
+	_, err := t.Count()
+	return err
+}
+
+// Check validates the structure read-only: entry rectangles contain their
+// subtrees, levels decrease monotonically, line tables are clean, and
+// every reachable node parses.
+func (t *Tree) Check() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, err := t.readMeta()
+	if err != nil {
+		return err
+	}
+	if m.root == 0 {
+		return nil
+	}
+	f, err := t.pool.Get(m.root)
+	if err != nil {
+		return err
+	}
+	if !f.Data.Valid() || f.Data.SyncToken() != m.rootToken {
+		f.Unpin()
+		return fmt.Errorf("root %d: token %d != meta %d", m.root, f.Data.SyncToken(), m.rootToken)
+	}
+	level := f.Data.Level()
+	f.Unpin()
+	if int(level)+1 != int(m.height) {
+		return fmt.Errorf("root level %d inconsistent with height %d", level, m.height)
+	}
+	return t.checkNode(m.root, level, nil)
+}
+
+func (t *Tree) checkNode(no uint32, level uint8, bound *Rect) error {
+	f, err := t.pool.Get(no)
+	if err != nil {
+		return err
+	}
+	defer f.Unpin()
+	p := f.Data
+	wantType := page.TypeLeaf
+	if level > 0 {
+		wantType = page.TypeInternal
+	}
+	if !p.Valid() || p.Type() != wantType || p.Level() != level {
+		return fmt.Errorf("node %d: type %v level %d, want %v level %d",
+			no, p.Type(), p.Level(), wantType, level)
+	}
+	if p.FindDuplicateSlot() >= 0 {
+		return fmt.Errorf("node %d: duplicate line-table entries", no)
+	}
+	entries, err := nodeEntries(p)
+	if err != nil {
+		return fmt.Errorf("node %d: %w", no, err)
+	}
+	for _, e := range entries {
+		if !e.rect.Valid() {
+			return fmt.Errorf("node %d: invalid rect %+v", no, e.rect)
+		}
+		if bound != nil && !bound.Contains(e.rect) {
+			return fmt.Errorf("node %d: entry %+v escapes parent bound %+v", no, e.rect, *bound)
+		}
+	}
+	if level == 0 {
+		return nil
+	}
+	for _, e := range entries {
+		r := e.rect
+		if err := t.checkNode(e.child, level-1, &r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Height returns the number of levels (0 for an empty tree).
+func (t *Tree) Height() (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, err := t.readMeta()
+	if err != nil {
+		return 0, err
+	}
+	return int(m.height), nil
+}

@@ -1,0 +1,135 @@
+// Package storage provides the stable-storage abstraction beneath the
+// buffer pool: page-granular files with an explicitly *unordered* sync.
+//
+// The paper's failure model (§2) is: the DBMS hands modified pages to the
+// operating system in no particular order; a sync makes them all durable;
+// if the machine crashes during a sync, ANY SUBSET of the synced pages may
+// have reached the disk, and single-page writes are atomic.
+//
+// The paper ran on a DECstation 5000/200 under Ultrix. We do not have that
+// hardware, so MemDisk simulates exactly the failure model the correctness
+// argument depends on — including a CrashPartial operation that persists a
+// chosen or random subset of the writes buffered since the last sync, which
+// makes the model not just testable but exhaustively enumerable. FileDisk
+// provides a real file-backed implementation with the same interface for
+// durable use.
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/page"
+)
+
+// PageNo identifies a page within a file. Page numbers start at 0; page 0
+// is conventionally a meta page.
+type PageNo = uint32
+
+// ErrClosed is returned by operations on a closed disk.
+var ErrClosed = errors.New("storage: disk is closed")
+
+// ErrOutOfRange is returned when reading beyond the end of the file.
+var ErrOutOfRange = errors.New("storage: page out of range")
+
+// Disk is a page-granular stable-storage device with an OS-style write
+// cache: WritePage hands a page to the cache, Sync makes every cached write
+// durable (in an order the caller cannot control), and ReadPage observes
+// the cache (pending writes are visible before they are durable, just as
+// reads through a UNIX buffer cache would be).
+type Disk interface {
+	// ReadPage fills buf with the current contents of page no. Reading a
+	// page that was never written returns a zeroed buffer, mirroring a
+	// freshly extended UNIX file.
+	ReadPage(no PageNo, buf page.Page) error
+	// WritePage buffers a full-page write. The write becomes durable at
+	// the next Sync (or not at all, if a crash intervenes).
+	WritePage(no PageNo, data page.Page) error
+	// Sync makes all buffered writes durable. The order in which the
+	// individual pages reach stable storage is not observable and not
+	// controllable, per the paper's assumptions.
+	Sync() error
+	// NumPages returns the current logical size of the file in pages,
+	// including pages with only buffered (not yet durable) writes.
+	NumPages() PageNo
+	// Close releases resources. Buffered writes are NOT flushed: closing
+	// without Sync models pulling the plug.
+	Close() error
+}
+
+// A Crasher is a Disk that supports simulated crashes. Production disks
+// (FileDisk) do not implement it.
+type Crasher interface {
+	Disk
+	// CrashPartial simulates a system failure during a sync: pick
+	// receives the page numbers with buffered writes (sorted) and
+	// returns the subset that "made it" to stable storage. All other
+	// buffered writes are discarded. After CrashPartial the disk serves
+	// reads from stable contents only, as a restarted DBMS would see.
+	CrashPartial(pick func(pending []PageNo) []PageNo) error
+	// PendingPages returns the sorted page numbers with buffered writes.
+	PendingPages() []PageNo
+}
+
+// CrashAll persists every pending write (equivalent to a completed sync
+// followed by a crash).
+func CrashAll(pending []PageNo) []PageNo { return pending }
+
+// CrashNone discards every pending write (crash before any page reached
+// the disk).
+func CrashNone([]PageNo) []PageNo { return nil }
+
+// CrashSubsetMask returns a pick function that keeps pending page i iff bit
+// i of mask is set; used to enumerate all 2^n durable subsets of a sync.
+func CrashSubsetMask(mask uint64) func([]PageNo) []PageNo {
+	return func(pending []PageNo) []PageNo {
+		var keep []PageNo
+		for i, no := range pending {
+			if i < 64 && mask&(1<<uint(i)) != 0 {
+				keep = append(keep, no)
+			}
+		}
+		return keep
+	}
+}
+
+// CrashOnly keeps exactly the listed pages (those of them that are pending).
+func CrashOnly(keep ...PageNo) func([]PageNo) []PageNo {
+	set := make(map[PageNo]bool, len(keep))
+	for _, no := range keep {
+		set[no] = true
+	}
+	return func(pending []PageNo) []PageNo {
+		var out []PageNo
+		for _, no := range pending {
+			if set[no] {
+				out = append(out, no)
+			}
+		}
+		return out
+	}
+}
+
+// CrashExcept keeps every pending page except the listed ones.
+func CrashExcept(drop ...PageNo) func([]PageNo) []PageNo {
+	set := make(map[PageNo]bool, len(drop))
+	for _, no := range drop {
+		set[no] = true
+	}
+	return func(pending []PageNo) []PageNo {
+		var out []PageNo
+		for _, no := range pending {
+			if !set[no] {
+				out = append(out, no)
+			}
+		}
+		return out
+	}
+}
+
+func checkPageBuf(buf page.Page) error {
+	if len(buf) != page.Size {
+		return fmt.Errorf("storage: page buffer is %d bytes, want %d", len(buf), page.Size)
+	}
+	return nil
+}

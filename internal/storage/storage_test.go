@@ -1,0 +1,264 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/page"
+)
+
+func fill(b byte) page.Page {
+	p := page.New()
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func testDiskBasics(t *testing.T, d Disk) {
+	t.Helper()
+	if err := d.WritePage(0, fill(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(3, fill(4)); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.NumPages(); n != 4 {
+		t.Fatalf("NumPages = %d, want 4", n)
+	}
+	buf := page.New()
+	if err := d.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, fill(1)) {
+		t.Fatal("page 0 contents wrong")
+	}
+	// Page 2 was never written: reads as zeros (sparse file semantics).
+	if err := d.ReadPage(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, page.New()) {
+		t.Fatal("unwritten page should read as zeros")
+	}
+	if err := d.ReadPage(10, buf); err == nil {
+		t.Fatal("read past end must fail")
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite after sync.
+	if err := d.WritePage(0, fill(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 9 {
+		t.Fatal("reads must observe buffered writes")
+	}
+}
+
+func TestMemDiskBasics(t *testing.T) { testDiskBasics(t, NewMemDisk()) }
+func TestFileDiskBasics(t *testing.T) {
+	d, err := OpenFileDisk(filepath.Join(t.TempDir(), "pages.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	testDiskBasics(t, d)
+}
+
+func TestFileDiskReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	d, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(1, fill(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.NumPages() != 2 {
+		t.Fatalf("NumPages after reopen = %d, want 2", d2.NumPages())
+	}
+	buf := page.New()
+	if err := d2.ReadPage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 {
+		t.Fatal("synced page lost across reopen")
+	}
+}
+
+func TestMemDiskWrongBufferSize(t *testing.T) {
+	d := NewMemDisk()
+	if err := d.WritePage(0, make(page.Page, 100)); err == nil {
+		t.Fatal("short buffer must be rejected")
+	}
+	if err := d.ReadPage(0, make(page.Page, 100)); err == nil {
+		t.Fatal("short buffer must be rejected")
+	}
+}
+
+func TestMemDiskClosed(t *testing.T) {
+	d := NewMemDisk()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(0, page.New()); err == nil {
+		t.Fatal("write after close must fail")
+	}
+	if err := d.Sync(); err == nil {
+		t.Fatal("sync after close must fail")
+	}
+}
+
+func TestCrashDiscardsPendingWrites(t *testing.T) {
+	d := NewMemDisk()
+	if err := d.WritePage(0, fill(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(0, fill(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CrashPartial(CrashNone); err != nil {
+		t.Fatal(err)
+	}
+	buf := page.New()
+	if err := d.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 {
+		t.Fatalf("after crash page 0 byte = %d, want pre-crash 1", buf[0])
+	}
+}
+
+func TestCrashKeepsChosenSubset(t *testing.T) {
+	d := NewMemDisk()
+	for no := PageNo(0); no < 4; no++ {
+		if err := d.WritePage(no, fill(byte(no+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pending := d.PendingPages()
+	if len(pending) != 4 {
+		t.Fatalf("pending = %v", pending)
+	}
+	if err := d.CrashPartial(CrashOnly(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	buf := page.New()
+	for no, want := range map[PageNo]byte{1: 2, 3: 4} {
+		if err := d.ReadPage(no, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != want {
+			t.Errorf("page %d byte = %d, want %d", no, buf[0], want)
+		}
+	}
+	// Pages 0 and 2 were lost; they read as zeros.
+	for _, no := range []PageNo{0, 2} {
+		if err := d.ReadPage(no, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, page.New()) {
+			t.Errorf("lost page %d should read zeroed", no)
+		}
+	}
+}
+
+func TestCrashShrinksHighWaterMark(t *testing.T) {
+	d := NewMemDisk()
+	if err := d.WritePage(0, fill(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(9, fill(2)); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPages() != 10 {
+		t.Fatal("extension should be visible before crash")
+	}
+	if err := d.CrashPartial(CrashNone); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPages() != 1 {
+		t.Fatalf("NumPages after crash = %d, want 1 (lost extension)", d.NumPages())
+	}
+}
+
+func TestCrashSubsetMaskEnumeration(t *testing.T) {
+	// Every mask must keep exactly the pages whose bit is set.
+	for mask := uint64(0); mask < 8; mask++ {
+		d := NewMemDisk()
+		for no := PageNo(0); no < 3; no++ {
+			if err := d.WritePage(no, fill(byte(no+1))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.CrashPartial(CrashSubsetMask(mask)); err != nil {
+			t.Fatal(err)
+		}
+		buf := page.New()
+		for no := PageNo(0); no < 3; no++ {
+			if no >= d.NumPages() {
+				if mask&(1<<no) != 0 {
+					t.Fatalf("mask %b: page %d should have survived", mask, no)
+				}
+				continue
+			}
+			if err := d.ReadPage(no, buf); err != nil {
+				t.Fatal(err)
+			}
+			kept := buf[0] == byte(no+1)
+			want := mask&(1<<no) != 0
+			if kept != want {
+				t.Errorf("mask %b page %d: kept=%v want %v", mask, no, kept, want)
+			}
+		}
+	}
+}
+
+func TestCrashHelpers(t *testing.T) {
+	pending := []PageNo{2, 5, 9}
+	if got := CrashAll(pending); len(got) != 3 {
+		t.Fatal("CrashAll must keep everything")
+	}
+	if got := CrashNone(pending); got != nil {
+		t.Fatal("CrashNone must drop everything")
+	}
+	if got := CrashExcept(5)(pending); len(got) != 2 || got[0] != 2 || got[1] != 9 {
+		t.Fatalf("CrashExcept(5) = %v", got)
+	}
+	if got := CrashOnly(9, 2)(pending); len(got) != 2 || got[0] != 2 || got[1] != 9 {
+		t.Fatalf("CrashOnly = %v", got)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	d := NewMemDisk()
+	_ = d.WritePage(0, fill(1))
+	_ = d.Sync()
+	_ = d.WritePage(0, fill(2))
+	_ = d.CrashPartial(CrashAll)
+	w, s, c := d.Stats()
+	if w != 2 || s != 1 || c != 1 {
+		t.Fatalf("stats = %d/%d/%d", w, s, c)
+	}
+}

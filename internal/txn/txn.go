@@ -1,0 +1,240 @@
+// Package txn implements the POSTGRES-style transaction manager the
+// paper's storage system assumes (§2): there is no write-ahead log; a
+// transaction commits by forcing every page it touched to stable storage
+// and then durably recording its XID as committed. After a crash the
+// status table simply lacks the XIDs of in-flight transactions, so their
+// tuples are invisible — recovery is instantaneous.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/heap"
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+// ErrTxnFinished is returned when using a committed or aborted transaction.
+var ErrTxnFinished = errors.New("txn: transaction already finished")
+
+// Syncer is anything whose dirty pages must be forced before a commit:
+// heap relations, indexes, or whole databases.
+type Syncer interface {
+	Sync() error
+}
+
+// Manager allocates XIDs and maintains the durable commit status table.
+// The table lives in its own page file: page 0 holds the next-XID high
+// water mark and the count of committed XIDs, followed by the sorted XIDs
+// themselves (spilling onto subsequent pages as needed).
+type Manager struct {
+	disk storage.Disk
+
+	mu        sync.Mutex
+	nextXID   heap.XID
+	committed map[heap.XID]bool
+	active    map[heap.XID]*Txn
+}
+
+// statusLayout: page 0 header is a normal page header; body is
+//
+//	nextXID u64 | count u64 | xid u64 ...
+//
+// continued on pages 1..n with raw u64 arrays.
+const (
+	statusBase       = page.HeaderSize
+	xidsPerFirstPage = (page.Size - statusBase - 16) / 8
+	xidsPerPage      = (page.Size - statusBase) / 8
+)
+
+// OpenManager loads (or initializes) the status table from disk.
+func OpenManager(disk storage.Disk) (*Manager, error) {
+	m := &Manager{
+		disk:      disk,
+		nextXID:   2, // XID 1 is the bootstrap transaction
+		committed: map[heap.XID]bool{1: true},
+		active:    make(map[heap.XID]*Txn),
+	}
+	if disk.NumPages() == 0 {
+		return m, m.persist()
+	}
+	buf := page.New()
+	if err := disk.ReadPage(0, buf); err != nil {
+		return nil, err
+	}
+	if buf.IsZeroed() {
+		return m, m.persist()
+	}
+	next := getU64(buf[statusBase:])
+	count := getU64(buf[statusBase+8:])
+	if next > uint64(m.nextXID) {
+		m.nextXID = heap.XID(next)
+	}
+	read := uint64(0)
+	off := statusBase + 16
+	pageNo := storage.PageNo(0)
+	for read < count {
+		if off+8 > page.Size {
+			pageNo++
+			if pageNo >= disk.NumPages() {
+				return nil, fmt.Errorf("txn: status table truncated at %d/%d xids", read, count)
+			}
+			if err := disk.ReadPage(pageNo, buf); err != nil {
+				return nil, err
+			}
+			off = statusBase
+		}
+		m.committed[heap.XID(getU64(buf[off:]))] = true
+		off += 8
+		read++
+	}
+	return m, nil
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	x := m.nextXID
+	m.nextXID++
+	t := &Txn{mgr: m, xid: x}
+	m.active[x] = t
+	return t
+}
+
+// Committed implements heap.StatusChecker.
+func (m *Manager) Committed(x heap.XID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.committed[x]
+}
+
+// HighestCommitted returns the largest committed XID (for as-of snapshots).
+func (m *Manager) HighestCommitted() heap.XID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var hi heap.XID
+	for x := range m.committed {
+		if x > hi {
+			hi = x
+		}
+	}
+	return hi
+}
+
+// persist writes the status table and syncs it. Called with mu held or
+// during single-threaded open.
+func (m *Manager) persist() error {
+	xids := make([]uint64, 0, len(m.committed))
+	for x := range m.committed {
+		xids = append(xids, uint64(x))
+	}
+	sort.Slice(xids, func(i, j int) bool { return xids[i] < xids[j] })
+
+	buf := page.New()
+	buf.Init(page.TypeMeta, 0)
+	putU64(buf[statusBase:], uint64(m.nextXID))
+	putU64(buf[statusBase+8:], uint64(len(xids)))
+	off := statusBase + 16
+	pageNo := storage.PageNo(0)
+	for _, x := range xids {
+		if off+8 > page.Size {
+			if err := m.disk.WritePage(pageNo, buf); err != nil {
+				return err
+			}
+			pageNo++
+			buf = page.New()
+			buf.Init(page.TypeMeta, 0)
+			off = statusBase
+		}
+		putU64(buf[off:], x)
+		off += 8
+	}
+	if err := m.disk.WritePage(pageNo, buf); err != nil {
+		return err
+	}
+	return m.disk.Sync()
+}
+
+// Txn is one transaction. It records the storage it touched so commit can
+// force exactly the right pages (in this reproduction, whole files).
+type Txn struct {
+	mgr      *Manager
+	xid      heap.XID
+	touched  []Syncer
+	finished bool
+}
+
+// XID returns the transaction's identifier.
+func (t *Txn) XID() heap.XID { return t.xid }
+
+// Touch registers storage whose dirty pages must be forced at commit.
+func (t *Txn) Touch(s Syncer) {
+	for _, have := range t.touched {
+		if have == s {
+			return
+		}
+	}
+	t.touched = append(t.touched, s)
+}
+
+// Commit implements the two-step force of §2: first every page the
+// transaction touched is written and synced (in an order the DBMS does not
+// control), then the commit record — the XID's entry in the status table —
+// is made durable. A crash between the two steps leaves the transaction
+// uncommitted and all its tuples invisible; a crash after both leaves it
+// fully committed. There is no window in which a committed transaction's
+// data can be missing.
+func (t *Txn) Commit() error {
+	if t.finished {
+		return ErrTxnFinished
+	}
+	for _, s := range t.touched {
+		if err := s.Sync(); err != nil {
+			return err
+		}
+	}
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.committed[t.xid] = true
+	if err := m.persist(); err != nil {
+		delete(m.committed, t.xid)
+		return err
+	}
+	delete(m.active, t.xid)
+	t.finished = true
+	return nil
+}
+
+// Abort abandons the transaction. Nothing is undone: the tuples it wrote
+// remain physically present but invisible forever (until the vacuum
+// reclaims them), exactly the no-overwrite discipline.
+func (t *Txn) Abort() error {
+	if t.finished {
+		return ErrTxnFinished
+	}
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.active, t.xid)
+	t.finished = true
+	return nil
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

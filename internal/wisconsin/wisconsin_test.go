@@ -1,0 +1,135 @@
+package wisconsin
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+)
+
+func TestTupleEncodeDecode(t *testing.T) {
+	tp := Tuple{Unique1: 0xAABBCCDD, Unique2: 7}
+	data := tp.Encode()
+	if DecodeUnique1(data) != 0xAABBCCDD {
+		t.Fatal("unique1 round trip failed")
+	}
+	if len(data) != 88 {
+		t.Fatalf("encoded size %d", len(data))
+	}
+}
+
+func TestKeyOrdering(t *testing.T) {
+	// Big-endian keys must sort numerically.
+	prev := Key(0)
+	for _, v := range []uint32{1, 2, 255, 256, 1 << 16, 1 << 24} {
+		k := Key(v)
+		if string(prev) >= string(k) {
+			t.Fatalf("keys out of order at %d", v)
+		}
+		prev = k
+	}
+}
+
+func TestLoadAndSelections(t *testing.T) {
+	db, err := core.Open(core.Memory(), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 2000
+	w, err := Load(db, "wisc", n, core.Shadow, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every unique1 value resolves through the index to its tuple.
+	for _, u1 := range []uint32{0, 1, n / 2, n - 1} {
+		tid, err := w.Idx.LookupTID(Key(u1))
+		if err != nil {
+			t.Fatalf("unique1 %d: %v", u1, err)
+		}
+		data, err := w.Rel.Fetch(tid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if DecodeUnique1(data) != u1 {
+			t.Fatalf("unique1 %d resolved to %d", u1, DecodeUnique1(data))
+		}
+	}
+
+	tm, err := w.RunSelections(rng, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.QueryCount != 30 || tm.TuplesSeen == 0 {
+		t.Fatalf("timing: %+v", tm)
+	}
+	if tm.Total <= 0 || tm.AccessMeth <= 0 {
+		t.Fatal("time accounting missing")
+	}
+	f := tm.Fraction()
+	if f <= 0 || f >= 1 {
+		t.Fatalf("access-method fraction %f out of range", f)
+	}
+	// The §6 shape: with sequential scans in the mix, the access method
+	// is a small minority of total time.
+	if f > 0.5 {
+		t.Fatalf("access method dominates (%.0f%%) — workload mix broken", 100*f)
+	}
+	if tm.String() == "" {
+		t.Fatal("empty timing description")
+	}
+}
+
+func TestJoinAselB(t *testing.T) {
+	db, err := core.Open(core.Memory(), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const n = 1500
+	outer, err := Load(db, "a", n, core.Shadow, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := Load(db, "b", n, core.Reorg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := RunJoin(outer, inner, rng, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10% selection joins ~150 tuples, each matched exactly once.
+	if tm.TuplesSeen < n/10-1 || tm.TuplesSeen > n/10+1 {
+		t.Fatalf("join produced %d tuples, want ~%d", tm.TuplesSeen, n/10)
+	}
+	if tm.AccessMeth <= 0 || tm.Total < tm.AccessMeth {
+		t.Fatalf("timing accounting broken: %+v", tm)
+	}
+}
+
+func TestRangeSelectionCount(t *testing.T) {
+	db, err := core.Open(core.Memory(), core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const n = 1000
+	w, err := Load(db, "wisc", n, core.Reorg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A [100,200) index range selection returns exactly 100 tuples.
+	count := 0
+	err = w.Idx.Scan(Key(100), Key(200), func(_ []byte, _ heap.TID) bool {
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("1%% selection returned %d tuples", count)
+	}
+}
