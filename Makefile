@@ -1,0 +1,29 @@
+# Single entry point for the repo's checks. `make check` is the whole CI:
+# vet + build + tier-1 tests + the race-enabled concurrency tests.
+
+GO ?= go
+
+.PHONY: check vet build test test-short race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the full test suite (see ROADMAP.md).
+test:
+	$(GO) test ./...
+
+# Quick iteration: skips the file-backed crash enumerations and fuzzers.
+test-short:
+	$(GO) test -short ./...
+
+# The concurrent-access tests under the race detector.
+race:
+	$(GO) test -race ./internal/btree -run 'Concurrent'
+
+bench:
+	$(GO) test -bench . -benchmem ./...

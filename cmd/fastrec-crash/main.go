@@ -18,14 +18,32 @@ import (
 )
 
 var (
-	variantName = flag.String("variant", "shadow", "index variant: shadow, reorg, hybrid")
-	nPre        = flag.Int("committed", 5000, "keys committed before the crash window")
-	nPost       = flag.Int("inflight", 500, "keys inserted but not committed when the crash hits")
-	rounds      = flag.Int("rounds", 20, "random crash rounds")
-	enumerate   = flag.Bool("enumerate", false, "exhaustively enumerate durable subsets of a single-split crash (ignores -inflight)")
-	seed        = flag.Int64("seed", 42, "crash subset RNG seed")
-	verbose     = flag.Bool("v", false, "print per-round details")
+	variantName   = flag.String("variant", "shadow", "index variant: shadow, reorg, hybrid")
+	nPre          = flag.Int("committed", 5000, "keys committed before the crash window")
+	nPost         = flag.Int("inflight", 500, "keys inserted but not committed when the crash hits")
+	rounds        = flag.Int("rounds", 20, "random crash rounds")
+	enumerate     = flag.Bool("enumerate", false, "exhaustively enumerate durable subsets of a single-split crash (ignores -inflight)")
+	seed          = flag.Int64("seed", 42, "crash subset RNG seed")
+	verbose       = flag.Bool("v", false, "print per-round details")
+	faults        = flag.Bool("faults", false, "run over a FaultDisk: torn page writes at crash time plus transient I/O errors")
+	tornProb      = flag.Float64("torn-prob", 1.0, "with -faults: probability a surviving fresh-page write is torn")
+	transientProb = flag.Float64("transient-prob", 0.01, "with -faults: probability a read/write fails transiently")
 )
+
+// newDisk builds the round's crashable disk: a plain MemDisk, or — with
+// -faults — a FaultDisk over it injecting torn writes and transient errors.
+func newDisk(faultSeed int64) (storage.Crasher, error) {
+	if !*faults {
+		return storage.NewMemDisk(), nil
+	}
+	return storage.NewFaultDisk(storage.NewMemDisk(), storage.FaultConfig{
+		Seed:               faultSeed,
+		TornWriteProb:      *tornProb,
+		TornMode:           storage.TearFresh,
+		TransientReadProb:  *transientProb,
+		TransientWriteProb: *transientProb,
+	})
+}
 
 func main() {
 	flag.Parse()
@@ -47,18 +65,28 @@ func main() {
 		return
 	}
 	rng := rand.New(rand.NewSource(*seed))
+	failed := 0
 	for round := 0; round < *rounds; round++ {
-		repairs, err := runRound(variant, rng)
+		repairs, err := runRound(variant, rng, *seed+int64(round))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "round %d: RECOVERY FAILED: %v\n", round, err)
-			os.Exit(1)
+			failed++
+			continue
 		}
 		if *verbose {
 			fmt.Printf("round %3d: recovered, %d repairs\n", round, repairs)
 		}
 	}
-	fmt.Printf("%d random crash rounds on the %v index: all committed keys recovered, structure valid.\n",
-		*rounds, variant)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d rounds FAILED verification\n", failed, *rounds)
+		os.Exit(1)
+	}
+	mode := ""
+	if *faults {
+		mode = " (with fault injection)"
+	}
+	fmt.Printf("%d random crash rounds on the %v index%s: all committed keys recovered, structure valid.\n",
+		*rounds, variant, mode)
 }
 
 func key(i int) []byte {
@@ -67,8 +95,7 @@ func key(i int) []byte {
 	return k
 }
 
-func build(variant btree.Variant, committed, inflight int) (*storage.MemDisk, *btree.Tree, error) {
-	d := storage.NewMemDisk()
+func build(d storage.Crasher, variant btree.Variant, committed, inflight int) (storage.Crasher, *btree.Tree, error) {
 	tr, err := btree.Open(d, variant, btree.Options{})
 	if err != nil {
 		return nil, nil, err
@@ -92,8 +119,12 @@ func build(variant btree.Variant, committed, inflight int) (*storage.MemDisk, *b
 	return d, tr, nil
 }
 
-func runRound(variant btree.Variant, rng *rand.Rand) (repairs uint64, err error) {
-	d, _, err := build(variant, *nPre, *nPost)
+func runRound(variant btree.Variant, rng *rand.Rand, faultSeed int64) (repairs uint64, err error) {
+	disk, err := newDisk(faultSeed)
+	if err != nil {
+		return 0, err
+	}
+	d, _, err := build(disk, variant, *nPre, *nPost)
 	if err != nil {
 		return 0, err
 	}
@@ -112,7 +143,7 @@ func runRound(variant btree.Variant, rng *rand.Rand) (repairs uint64, err error)
 	return verify(d, variant, *nPre)
 }
 
-func verify(d *storage.MemDisk, variant btree.Variant, committed int) (uint64, error) {
+func verify(d storage.Disk, variant btree.Variant, committed int) (uint64, error) {
 	tr, err := btree.Open(d, variant, btree.Options{})
 	if err != nil {
 		return 0, err
@@ -161,7 +192,12 @@ func runEnumeration(variant btree.Variant) {
 	}
 	committed := n - 1
 
-	d0, _, err := build(variant, committed, 1)
+	probe0, err := newDisk(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	d0, _, err := build(probe0, variant, committed, 1)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -174,8 +210,14 @@ func runEnumeration(variant btree.Variant) {
 	total := uint64(1) << pages
 	fmt.Printf("enumerating %d durable subsets of the %d pages written by one %v leaf split...\n",
 		total, pages, variant)
+	failed := 0
 	for mask := uint64(0); mask < total; mask++ {
-		d, _, err := build(variant, committed, 1)
+		disk, err := newDisk(int64(mask))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		d, _, err := build(disk, variant, committed, 1)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -186,8 +228,12 @@ func runEnumeration(variant btree.Variant) {
 		}
 		if _, err := verify(d, variant, committed); err != nil {
 			fmt.Fprintf(os.Stderr, "subset %0*b: RECOVERY FAILED: %v\n", pages, mask, err)
-			os.Exit(1)
+			failed++
 		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d subsets FAILED recovery\n", failed, total)
+		os.Exit(1)
 	}
 	fmt.Printf("all %d subsets recovered: no committed key lost, structure valid.\n", total)
 }

@@ -23,9 +23,15 @@ var protectedVariants = []Variant{Shadow, Reorg, Hybrid}
 // crashScenario builds a deterministic tree state: nPre ascending keys
 // committed by a sync, then the trigger keys inserted without a sync.
 // It returns the disk with the post-trigger writes still pending.
-func crashScenario(t *testing.T, v Variant, nPre int, trigger []int) *storage.MemDisk {
+func crashScenario(t *testing.T, v Variant, nPre int, trigger []int) storage.Crasher {
+	return crashScenarioOn(t, storage.NewMemDisk(), v, nPre, trigger)
+}
+
+// crashScenarioOn builds the same state on a caller-supplied disk, letting
+// the suite run over any Crasher — MemDisk or FaultDisk over either
+// backend.
+func crashScenarioOn(t *testing.T, d storage.Crasher, v Variant, nPre int, trigger []int) storage.Crasher {
 	t.Helper()
-	d := storage.NewMemDisk()
 	tr, err := Open(d, v, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +56,7 @@ func crashScenario(t *testing.T, v Variant, nPre int, trigger []int) *storage.Me
 // verifyRecovered opens the crashed disk and asserts the recovery
 // guarantee: every committed key is found, the structure checks out after
 // the lazy repairs complete, and the index remains fully usable.
-func verifyRecovered(t *testing.T, d *storage.MemDisk, v Variant, committed int, label string) {
+func verifyRecovered(t *testing.T, d storage.Disk, v Variant, committed int, label string) {
 	t.Helper()
 	tr, err := Open(d, v, Options{})
 	if err != nil {
@@ -244,7 +250,7 @@ func TestFirstRootCrash(t *testing.T) {
 // reorgSplitPages locates the participants of the last reorg leaf split in
 // a crashed image: pa (the reorganized page, identified by its backups),
 // pb (its newPage), and the parent.
-func reorgSplitPages(t *testing.T, d *storage.MemDisk) (pa, pb uint32) {
+func reorgSplitPages(t *testing.T, d storage.Disk) (pa, pb uint32) {
 	t.Helper()
 	buf := page.New()
 	for no := storage.PageNo(1); no < d.NumPages(); no++ {
@@ -552,16 +558,15 @@ func TestCrashFuzz(t *testing.T) {
 	for _, v := range protectedVariants {
 		t.Run(v.String(), func(t *testing.T) {
 			for seed := int64(0); seed < 6; seed++ {
-				fuzzOnce(t, v, seed)
+				fuzzOnce(t, v, seed, storage.NewMemDisk())
 			}
 		})
 	}
 }
 
-func fuzzOnce(t *testing.T, v Variant, seed int64) {
+func fuzzOnce(t *testing.T, v Variant, seed int64, d storage.Crasher) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	d := storage.NewMemDisk()
 	committed := make(map[int]bool)
 	tentative := make(map[int]bool)
 	next := 0

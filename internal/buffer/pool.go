@@ -13,9 +13,11 @@
 package buffer
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/page"
 	"repro/internal/storage"
@@ -23,6 +25,39 @@ import (
 
 // DefaultCapacity is the default number of frames in a pool.
 const DefaultCapacity = 1024
+
+// RetryPolicy bounds the pool's handling of storage.ErrTransient: each
+// page I/O is attempted up to MaxAttempts times, sleeping BaseDelay before
+// the first retry and doubling before each subsequent one.
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseDelay   time.Duration
+}
+
+// DefaultRetryPolicy retries enough to outlast FaultDisk's default
+// MaxTransientRun of 3 while staying under a millisecond of total backoff.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 5, BaseDelay: 50 * time.Microsecond}
+
+// checksumRereads is how many times a read with a failing checksum is
+// re-issued before the page is classified as never-durable. A re-read
+// distinguishes transient corruption (bit rot on the wire, cleared by the
+// retry) from a genuinely damaged durable image.
+const checksumRereads = 2
+
+// IOStats counts the pool's fault-handling activity.
+type IOStats struct {
+	// Retries is the number of re-issued page I/Os: transient-error
+	// retries plus checksum-failure re-reads.
+	Retries int64
+	// ChecksumFailures is the number of reads classified as "this page
+	// never became durable" — persistent checksum mismatch or an
+	// unreadable sector — and routed into crash repair as a zero page.
+	ChecksumFailures int64
+	// TornPagesRepaired is the number of never-durable-classified pages
+	// that were subsequently rewritten with valid contents, i.e. actually
+	// repaired by the recovery machinery.
+	TornPagesRepaired int64
+}
 
 // Pool caches pages of a single Disk.
 type Pool struct {
@@ -35,6 +70,8 @@ type Pool struct {
 	hand     int      // clock hand position
 	hits     int64
 	misses   int64
+	retry    RetryPolicy
+	io       IOStats
 }
 
 // Frame is a buffered page. The page contents must only be accessed while
@@ -50,6 +87,10 @@ type Frame struct {
 	dirty  bool
 	valid  bool
 	ref    bool // clock reference bit: set on access, cleared by the sweep
+	// zeroRouted records that this frame's durable image failed
+	// verification and was served as a zero page for crash repair; the
+	// next write of valid contents counts as a torn-page repair.
+	zeroRouted bool
 
 	// Data is the page image. Latch-protected.
 	Data page.Page
@@ -65,11 +106,29 @@ func NewPool(disk storage.Disk, capacity int) *Pool {
 		disk:     disk,
 		frames:   make(map[storage.PageNo]*Frame),
 		capacity: capacity,
+		retry:    DefaultRetryPolicy,
 	}
 }
 
 // Disk returns the underlying storage device.
 func (p *Pool) Disk() storage.Disk { return p.disk }
+
+// SetRetryPolicy replaces the transient-error retry policy.
+func (p *Pool) SetRetryPolicy(rp RetryPolicy) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if rp.MaxAttempts < 1 {
+		rp.MaxAttempts = 1
+	}
+	p.retry = rp
+}
+
+// IOStats returns a snapshot of the fault-handling counters.
+func (p *Pool) IOStats() IOStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.io
+}
 
 // Get pins and returns the frame for page no, reading it from storage on a
 // miss. The caller must Unpin it.
@@ -92,8 +151,15 @@ func (p *Pool) Get(no storage.PageNo) (*Frame, error) {
 	// in this reproduction and this keeps a concurrent Get for the same
 	// page from seeing a half-filled frame.
 	if no < p.disk.NumPages() {
-		if err := p.disk.ReadPage(no, f.Data); err != nil {
+		if err := p.readFrameLocked(no, f); err != nil {
+			f.valid = false
 			delete(p.frames, no)
+			for i, cf := range p.clock {
+				if cf == f {
+					p.clock = append(p.clock[:i], p.clock[i+1:]...)
+					break
+				}
+			}
 			p.mu.Unlock()
 			return nil, err
 		}
@@ -104,6 +170,103 @@ func (p *Pool) Get(no storage.PageNo) (*Frame, error) {
 	}
 	p.mu.Unlock()
 	return f, nil
+}
+
+// readFrameLocked fills f.Data from disk with transient-error retries and
+// checksum verification. A page whose image persistently fails its checksum
+// (or whose sector is unreadable) is classified "never became durable" and
+// served as a zero page, which the index-level crash-repair machinery
+// rebuilds on use — except page 0, the meta page, which has no redundant
+// copy to rebuild from and is therefore a hard error.
+func (p *Pool) readFrameLocked(no storage.PageNo, f *Frame) error {
+	err := p.readPageRetryLocked(no, f.Data)
+	for reread := 0; err == nil && !f.Data.ChecksumOK(); reread++ {
+		if reread >= checksumRereads {
+			return p.routeNeverDurableLocked(no, f, "checksum mismatch")
+		}
+		// Re-read: transient corruption (a flipped bit on the wire)
+		// clears on retry; real damage does not.
+		p.io.Retries++
+		err = p.readPageRetryLocked(no, f.Data)
+	}
+	if errors.Is(err, storage.ErrBadSector) {
+		return p.routeNeverDurableLocked(no, f, "unreadable sector")
+	}
+	return err
+}
+
+// readPageRetryLocked issues a page read, retrying storage.ErrTransient
+// under the pool's RetryPolicy.
+func (p *Pool) readPageRetryLocked(no storage.PageNo, buf page.Page) error {
+	delay := p.retry.BaseDelay
+	var err error
+	for attempt := 0; attempt < p.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			p.io.Retries++
+			if delay > 0 {
+				time.Sleep(delay)
+				delay *= 2
+			}
+		}
+		if err = p.disk.ReadPage(no, buf); !errors.Is(err, storage.ErrTransient) {
+			return err
+		}
+	}
+	return err
+}
+
+// writePageRetryLocked issues a page write, retrying storage.ErrTransient
+// under the pool's RetryPolicy.
+func (p *Pool) writePageRetryLocked(no storage.PageNo, data page.Page) error {
+	delay := p.retry.BaseDelay
+	var err error
+	for attempt := 0; attempt < p.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			p.io.Retries++
+			if delay > 0 {
+				time.Sleep(delay)
+				delay *= 2
+			}
+		}
+		if err = p.disk.WritePage(no, data); !errors.Is(err, storage.ErrTransient) {
+			return err
+		}
+	}
+	return err
+}
+
+// routeNeverDurableLocked classifies page no's durable image as lost and
+// serves a zero page in its place, handing the damage to crash repair.
+func (p *Pool) routeNeverDurableLocked(no storage.PageNo, f *Frame, cause string) error {
+	if no == 0 {
+		// The meta page is overwritten in place and has no redundant
+		// copy; losing it is unrecoverable at this layer.
+		return fmt.Errorf("buffer: meta page 0 unrecoverable (%s)", cause)
+	}
+	for i := range f.Data {
+		f.Data[i] = 0
+	}
+	f.zeroRouted = true
+	p.io.ChecksumFailures++
+	return nil
+}
+
+// writeFrameLocked is the single choke point through which every dirty
+// frame reaches the disk (eviction and flush), with transient-error
+// retries. Writing valid contents over a frame that was zero-routed is the
+// completion of a torn-page repair.
+func (p *Pool) writeFrameLocked(f *Frame) error {
+	if err := p.writePageRetryLocked(f.pageNo, f.Data); err != nil {
+		return err
+	}
+	if f.zeroRouted {
+		if !f.Data.IsZeroed() {
+			p.io.TornPagesRepaired++
+		}
+		f.zeroRouted = false
+	}
+	f.dirty = false
+	return nil
 }
 
 // NewPage pins and returns a zeroed frame for page no without reading
@@ -179,10 +342,9 @@ func (p *Pool) evictLocked() error {
 			continue
 		}
 		if f.dirty {
-			if err := p.disk.WritePage(f.pageNo, f.Data); err != nil {
+			if err := p.writeFrameLocked(f); err != nil {
 				return err
 			}
-			f.dirty = false
 		}
 		f.valid = false
 		delete(p.frames, f.pageNo)
@@ -310,11 +472,9 @@ func (p *Pool) flushDirtyLocked() error {
 	// still provides no durability ordering.
 	sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
 	for _, no := range nos {
-		f := p.frames[no]
-		if err := p.disk.WritePage(no, f.Data); err != nil {
+		if err := p.writeFrameLocked(p.frames[no]); err != nil {
 			return err
 		}
-		f.dirty = false
 	}
 	return nil
 }

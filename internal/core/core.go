@@ -37,6 +37,7 @@ import (
 	"sync"
 
 	"repro/internal/btree"
+	"repro/internal/buffer"
 	"repro/internal/heap"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -70,6 +71,31 @@ type Config struct {
 	PoolSize int
 	// IndexOptions are passed through to every index.
 	IndexOptions btree.Options
+	// Retry bounds transient-I/O retries in every buffer pool the DB
+	// opens. The zero value means buffer.DefaultRetryPolicy.
+	Retry buffer.RetryPolicy
+}
+
+// IOStats aggregates the fault-handling counters of every buffer pool the
+// DB has opened (relations and indexes): retries after transient errors,
+// pages classified never-durable by checksum verification, and torn pages
+// completed by crash repair.
+func (db *DB) IOStats() buffer.IOStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var total buffer.IOStats
+	add := func(s buffer.IOStats) {
+		total.Retries += s.Retries
+		total.ChecksumFailures += s.ChecksumFailures
+		total.TornPagesRepaired += s.TornPagesRepaired
+	}
+	for _, ix := range db.indexes {
+		add(ix.t.Pool().IOStats())
+	}
+	for _, r := range db.rels {
+		add(r.h.Pool().IOStats())
+	}
+	return total
 }
 
 // Storage decides where the DB's files live.
@@ -171,6 +197,9 @@ func (db *DB) CreateRelation(name string) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	if db.cfg.Retry != (buffer.RetryPolicy{}) {
+		r.Pool().SetRetryPolicy(db.cfg.Retry)
+	}
 	rel := &Relation{db: db, name: name, h: r}
 	db.rels[name] = rel
 	return rel, nil
@@ -194,6 +223,9 @@ func (db *DB) CreateIndex(name string, v Variant) (*Index, error) {
 	t, err := btree.Open(d, v, opts)
 	if err != nil {
 		return nil, err
+	}
+	if db.cfg.Retry != (buffer.RetryPolicy{}) {
+		t.Pool().SetRetryPolicy(db.cfg.Retry)
 	}
 	ix := &Index{db: db, name: name, t: t}
 	db.indexes[name] = ix

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/buffer"
 	"repro/internal/heap"
 	"repro/internal/storage"
 )
@@ -390,5 +393,99 @@ func TestListings(t *testing.T) {
 	}
 	if ixs := db.Indexes(); len(ixs) != 1 || ixs[0].Name() != "z" {
 		t.Fatalf("Indexes = %v", ixs)
+	}
+}
+
+// faultStorage is Memory() with every disk wrapped in a FaultDisk injecting
+// transient I/O errors.
+type faultStorage struct {
+	mu    sync.Mutex
+	cfg   storage.FaultConfig
+	disks map[string]*storage.FaultDisk
+}
+
+func (m *faultStorage) open(name string) (storage.Disk, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if name == "control" {
+		// The txn manager writes its control page directly, below any
+		// buffer pool — retries are a pool concern, so keep it clean.
+		return storage.NewMemDisk(), nil
+	}
+	if d, ok := m.disks[name]; ok {
+		return d, nil
+	}
+	cfg := m.cfg
+	cfg.Seed += int64(len(m.disks)) // distinct schedule per file
+	d, err := storage.NewFaultDisk(storage.NewMemDisk(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.disks[name] = d
+	return d, nil
+}
+
+// TestConfigRetryAndIOStats proves Config.Retry reaches every pool the DB
+// opens and that DB.IOStats aggregates the resulting retry counters: a
+// workload over 5% transient failures completes with no surfaced errors.
+func TestConfigRetryAndIOStats(t *testing.T) {
+	fs := &faultStorage{
+		cfg: storage.FaultConfig{
+			Seed:               99,
+			TransientReadProb:  0.05,
+			TransientWriteProb: 0.05,
+		},
+		disks: make(map[string]*storage.FaultDisk),
+	}
+	db, err := Open(fs, Config{
+		Variant:  Shadow,
+		PoolSize: 8, // force real I/O so the fault schedule is exercised
+		Retry:    buffer.RetryPolicy{MaxAttempts: 8, BaseDelay: time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := db.CreateRelation("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.CreateIndex("t_pk", Shadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 800
+	for i := 0; i < n; i++ {
+		tx := db.Begin()
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		tid, err := rel.Insert(tx, append([]byte("row-"), k...))
+		if err != nil {
+			t.Fatalf("insert %d surfaced %v despite retries", i, err)
+		}
+		if err := idx.InsertTID(tx, k, tid); err != nil {
+			t.Fatalf("index insert %d: %v", i, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		if _, err := idx.FetchVisible(rel, k); err != nil {
+			t.Fatalf("fetch %q: %v", k, err)
+		}
+	}
+	var injected int
+	for _, d := range fs.disks {
+		st := d.Stats()
+		injected += st.TransientReads + st.TransientWrites
+	}
+	if injected < 10 {
+		t.Fatalf("only %d transient faults injected — test is vacuous", injected)
+	}
+	if st := db.IOStats(); st.Retries == 0 {
+		t.Fatalf("DB.IOStats reports no retries despite %d injected faults", injected)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,62 @@
+package page
+
+import "testing"
+
+func TestChecksumRoundTrip(t *testing.T) {
+	p := New()
+	p.Init(TypeLeaf, 0)
+	p.UpdateChecksum()
+	if !p.ChecksumOK() {
+		t.Fatal("freshly sealed page must verify")
+	}
+	if p.Checksum() != p.ComputeChecksum() {
+		t.Fatal("stored and computed checksums differ")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	p := New()
+	p.Init(TypeLeaf, 0)
+	p.UpdateChecksum()
+	// A single flipped bit anywhere outside the checksum field must be
+	// detected. Sample header, body, and last byte.
+	for _, off := range []int{0, 8, HeaderSize, HeaderSize + 100, Size - 1} {
+		p[off] ^= 0x01
+		if p.ChecksumOK() {
+			t.Errorf("flip at offset %d not detected", off)
+		}
+		p[off] ^= 0x01
+	}
+	if !p.ChecksumOK() {
+		t.Fatal("page should verify again after undoing the flips")
+	}
+}
+
+func TestChecksumExcludesOwnField(t *testing.T) {
+	p := New()
+	p.Init(TypeLeaf, 0)
+	before := p.ComputeChecksum()
+	p.SetChecksum(0xDEADBEEF)
+	if p.ComputeChecksum() != before {
+		t.Fatal("the checksum field must not feed its own computation")
+	}
+}
+
+func TestChecksumZeroPageAlwaysOK(t *testing.T) {
+	// A zeroed (never-written) page carries no checksum but is valid: it
+	// is the canonical "never became durable" image that crash repair
+	// already understands.
+	if !New().ChecksumOK() {
+		t.Fatal("zero page must verify")
+	}
+}
+
+func TestChecksumChangesWithContents(t *testing.T) {
+	a, b := New(), New()
+	a.Init(TypeLeaf, 0)
+	b.Init(TypeLeaf, 0)
+	b[HeaderSize] = 0xFF
+	if a.ComputeChecksum() == b.ComputeChecksum() {
+		t.Fatal("different contents should (overwhelmingly) have different checksums")
+	}
+}

@@ -32,6 +32,16 @@ var ErrClosed = errors.New("storage: disk is closed")
 // ErrOutOfRange is returned when reading beyond the end of the file.
 var ErrOutOfRange = errors.New("storage: page out of range")
 
+// ErrTransient is a retryable device error: the operation failed but an
+// identical retry may succeed (bus reset, command timeout). Injected by
+// FaultDisk; the buffer pool retries these with bounded backoff.
+var ErrTransient = errors.New("storage: transient I/O error")
+
+// ErrBadSector is a permanent media error on a page read: retrying cannot
+// help, the stored bits are gone. Readers treat such a page like one whose
+// write never became durable and route it into crash repair.
+var ErrBadSector = errors.New("storage: unreadable sector")
+
 // Disk is a page-granular stable-storage device with an OS-style write
 // cache: WritePage hands a page to the cache, Sync makes every cached write
 // durable (in an order the caller cannot control), and ReadPage observes
@@ -43,7 +53,11 @@ type Disk interface {
 	// freshly extended UNIX file.
 	ReadPage(no PageNo, buf page.Page) error
 	// WritePage buffers a full-page write. The write becomes durable at
-	// the next Sync (or not at all, if a crash intervenes).
+	// the next Sync (or not at all, if a crash intervenes). The stored
+	// image is sealed: the disk stamps the page checksum (format v2)
+	// into its copy, so every image that can ever be read back carries a
+	// checksum consistent with its contents. The caller's buffer is not
+	// modified.
 	WritePage(no PageNo, data page.Page) error
 	// Sync makes all buffered writes durable. The order in which the
 	// individual pages reach stable storage is not observable and not
@@ -125,6 +139,14 @@ func CrashExcept(drop ...PageNo) func([]PageNo) []PageNo {
 		}
 		return out
 	}
+}
+
+// rawWriter is implemented by disks that can store a page image verbatim,
+// bypassing the checksum seal of WritePage. FaultDisk uses it to plant torn
+// or bit-rotted images — the whole point of those images is that their
+// checksum does NOT match.
+type rawWriter interface {
+	writePageRaw(no PageNo, data page.Page) error
 }
 
 func checkPageBuf(buf page.Page) error {

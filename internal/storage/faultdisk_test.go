@@ -1,0 +1,315 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/page"
+)
+
+func newFaultDisk(t *testing.T, inner Disk, cfg FaultConfig) *FaultDisk {
+	t.Helper()
+	d, err := NewFaultDisk(inner, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFaultDiskPassThrough(t *testing.T) {
+	// A zero config injects nothing: the wrapper must behave like the
+	// inner disk, including crash semantics.
+	testDiskBasics(t, newFaultDisk(t, NewMemDisk(), FaultConfig{}))
+}
+
+func TestFaultDiskCrashOverFileDisk(t *testing.T) {
+	inner, err := OpenFileDisk(filepath.Join(t.TempDir(), "pages.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newFaultDisk(t, inner, FaultConfig{})
+	defer d.Close()
+	for no := PageNo(0); no < 3; no++ {
+		if err := d.WritePage(no, fill(byte(no+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.PendingPages(); len(got) != 3 {
+		t.Fatalf("pending = %v", got)
+	}
+	if err := d.CrashPartial(CrashOnly(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Only page 1 survived; FileDisk grew just enough to hold it.
+	if n := d.NumPages(); n != 2 {
+		t.Fatalf("NumPages after crash = %d, want 2", n)
+	}
+	buf := page.New()
+	if err := d.ReadPage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 2 || !buf.ChecksumOK() {
+		t.Fatal("surviving page lost or unsealed")
+	}
+	if err := d.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, page.New()) {
+		t.Fatal("dropped page should read zeroed")
+	}
+}
+
+func TestFaultDiskTransientBounded(t *testing.T) {
+	d := newFaultDisk(t, NewMemDisk(), FaultConfig{
+		Seed:              1,
+		TransientReadProb: 1, // every read fails — until the run cap
+		MaxTransientRun:   3,
+	})
+	if err := d.WritePage(0, fill(1)); err != nil {
+		t.Fatal(err)
+	}
+	buf := page.New()
+	var failures int
+	for attempt := 0; ; attempt++ {
+		err := d.ReadPage(0, buf)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrTransient) {
+			t.Fatal(err)
+		}
+		failures++
+		if attempt > 10 {
+			t.Fatal("transient failures not bounded by MaxTransientRun")
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("consecutive transient failures = %d, want 3", failures)
+	}
+	if s := d.Stats(); s.TransientReads != 3 {
+		t.Fatalf("TransientReads = %d, want 3", s.TransientReads)
+	}
+}
+
+func TestFaultDiskTornFreshWrite(t *testing.T) {
+	d := newFaultDisk(t, NewMemDisk(), FaultConfig{
+		Seed:          42,
+		TornWriteProb: 1,
+		TornMode:      TearFresh,
+	})
+	if err := d.WritePage(0, fill(1)); err != nil { // meta: never torn
+		t.Fatal(err)
+	}
+	if err := d.WritePage(1, fill(2)); err != nil { // fresh: tearable
+		t.Fatal(err)
+	}
+	if err := d.CrashPartial(CrashAll); err != nil {
+		t.Fatal(err)
+	}
+	buf := page.New()
+	if err := d.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !buf.ChecksumOK() {
+		t.Fatal("meta page must never be torn by default")
+	}
+	if err := d.ReadPage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.ChecksumOK() {
+		t.Fatal("torn fresh page must fail its checksum")
+	}
+	if buf[0] != 2 {
+		t.Fatal("torn write must preserve a durable prefix of the new image")
+	}
+	if s := d.Stats(); s.TornWrites != 1 {
+		t.Fatalf("TornWrites = %d, want 1", s.TornWrites)
+	}
+}
+
+func TestFaultDiskTearFreshProtectsOverwrites(t *testing.T) {
+	d := newFaultDisk(t, NewMemDisk(), FaultConfig{
+		Seed:          7,
+		TornWriteProb: 1,
+		TornMode:      TearFresh,
+	})
+	if err := d.WritePage(3, fill(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil { // page 3 is now durable
+		t.Fatal(err)
+	}
+	if err := d.WritePage(3, fill(2)); err != nil { // in-place overwrite
+		t.Fatal(err)
+	}
+	if err := d.CrashPartial(CrashAll); err != nil {
+		t.Fatal(err)
+	}
+	buf := page.New()
+	if err := d.ReadPage(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !buf.ChecksumOK() || buf[0] != 2 {
+		t.Fatal("TearFresh must apply overwrites atomically")
+	}
+}
+
+func TestFaultDiskTearAllTearsOverwrite(t *testing.T) {
+	d := newFaultDisk(t, NewMemDisk(), FaultConfig{
+		Seed:          7,
+		TornWriteProb: 1,
+		TornMode:      TearAll,
+	})
+	if err := d.WritePage(3, fill(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WritePage(3, fill(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CrashPartial(CrashAll); err != nil {
+		t.Fatal(err)
+	}
+	buf := page.New()
+	if err := d.ReadPage(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.ChecksumOK() {
+		t.Fatal("TearAll overwrite should produce an old/new hybrid failing its checksum")
+	}
+	// The hybrid mixes both generations: new head, at least one old byte.
+	if buf[0] != 2 || !bytes.Contains(buf, []byte{1}) {
+		t.Fatal("torn overwrite must mix old and new images")
+	}
+}
+
+func TestFaultDiskBadSector(t *testing.T) {
+	d := newFaultDisk(t, NewMemDisk(), FaultConfig{})
+	if err := d.WritePage(2, fill(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.AddBadSector(2)
+	buf := page.New()
+	if err := d.ReadPage(2, buf); !errors.Is(err, ErrBadSector) {
+		t.Fatalf("read of bad sector = %v, want ErrBadSector", err)
+	}
+	// A fresh durable write remaps the sector.
+	if err := d.WritePage(2, fill(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadPage(2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 6 {
+		t.Fatal("rewritten sector must read the new image")
+	}
+	if s := d.Stats(); s.BadSectorReads != 1 {
+		t.Fatalf("BadSectorReads = %d, want 1", s.BadSectorReads)
+	}
+}
+
+func TestFaultDiskBitRotClearsOnRetry(t *testing.T) {
+	inner := NewMemDisk()
+	d := newFaultDisk(t, inner, FaultConfig{
+		Seed:       3,
+		BitRotProb: 1, // every read returns a flipped bit
+	})
+	if err := d.WritePage(1, fill(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	buf := page.New()
+	if err := d.ReadPage(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.ChecksumOK() {
+		t.Fatal("bit-rotted read should fail its checksum")
+	}
+	// The rot is on the wire, not on the media: the durable image is clean.
+	clean := page.New()
+	if err := inner.ReadPage(1, clean); err != nil {
+		t.Fatal(err)
+	}
+	if !clean.ChecksumOK() {
+		t.Fatal("stored image must be unaffected by read-time bit rot")
+	}
+	if s := d.Stats(); s.BitRotReads != 1 {
+		t.Fatalf("BitRotReads = %d, want 1", s.BitRotReads)
+	}
+}
+
+func TestFaultDiskDeterminism(t *testing.T) {
+	run := func() (FaultStats, []byte) {
+		d := newFaultDisk(t, NewMemDisk(), FaultConfig{
+			Seed:              99,
+			TransientReadProb: 0.3,
+			TornWriteProb:     1,
+		})
+		for no := PageNo(0); no < 8; no++ {
+			if err := d.WritePage(no, fill(byte(no+1))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.CrashPartial(CrashAll); err != nil {
+			t.Fatal(err)
+		}
+		buf := page.New()
+		for no := PageNo(0); no < 8; no++ {
+			for d.ReadPage(no, buf) != nil {
+			}
+		}
+		img := page.New()
+		for d.ReadPage(5, img) != nil {
+		}
+		return d.Stats(), img
+	}
+	s1, img1 := run()
+	s2, img2 := run()
+	if s1 != s2 {
+		t.Fatalf("same seed, different stats: %+v vs %+v", s1, s2)
+	}
+	if !bytes.Equal(img1, img2) {
+		t.Fatal("same seed, different torn images")
+	}
+}
+
+func TestFaultDiskCorruptStable(t *testing.T) {
+	d := newFaultDisk(t, NewMemDisk(), FaultConfig{})
+	if err := d.WritePage(4, fill(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.CorruptStable(4, func(img page.Page) { img[100] ^= 0xFF }) {
+		t.Fatal("CorruptStable found no durable image")
+	}
+	buf := page.New()
+	if err := d.ReadPage(4, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.ChecksumOK() {
+		t.Fatal("corrupted durable image must fail its checksum")
+	}
+}
+
+func TestFaultDiskRejectsUnsupportedInner(t *testing.T) {
+	inner := newFaultDisk(t, NewMemDisk(), FaultConfig{})
+	// FaultDisk itself has no raw write hook: wrapping one in another
+	// must be rejected rather than silently re-sealing torn images.
+	if _, err := NewFaultDisk(inner, FaultConfig{}); err == nil {
+		t.Fatal("nesting FaultDisks must be rejected")
+	}
+}

@@ -14,10 +14,11 @@ import (
 // exactly the UNIX behaviour the paper assumes: no write ordering within a
 // sync, durability only at sync boundaries.
 type FileDisk struct {
-	mu     sync.Mutex
-	f      *os.File
-	nPages PageNo
-	closed bool
+	mu      sync.Mutex
+	f       *os.File
+	nPages  PageNo
+	closed  bool
+	scratch page.Page // reusable seal buffer; guarded by mu
 }
 
 // OpenFileDisk opens (creating if necessary) the file at path as a page
@@ -52,11 +53,13 @@ func (d *FileDisk) ReadPage(no PageNo, buf page.Page) error {
 	if no >= d.nPages {
 		return fmt.Errorf("%w: page %d of %d", ErrOutOfRange, no, d.nPages)
 	}
-	_, err := d.f.ReadAt(buf, int64(no)*page.Size)
+	n, err := d.f.ReadAt(buf, int64(no)*page.Size)
 	if err == io.EOF {
 		// The file may be sparse at the tail; a short read past the
-		// written region is a zero page.
-		for i := range buf {
+		// written region yields zeroes for the unwritten suffix. Keep the
+		// bytes that WERE read — zeroing the whole buffer would discard
+		// the durable prefix of a partially written tail page.
+		for i := n; i < len(buf); i++ {
 			buf[i] = 0
 		}
 		return nil
@@ -66,6 +69,34 @@ func (d *FileDisk) ReadPage(no PageNo, buf page.Page) error {
 
 // WritePage implements Disk.
 func (d *FileDisk) WritePage(no PageNo, data page.Page) error {
+	if err := checkPageBuf(data); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	// Seal into a scratch copy: the stored image carries the checksum but
+	// the caller's buffer must not be modified (it may be a buffer-pool
+	// frame that concurrent readers hold pinned).
+	if d.scratch == nil {
+		d.scratch = make(page.Page, page.Size)
+	}
+	copy(d.scratch, data)
+	d.scratch.UpdateChecksum()
+	if _, err := d.f.WriteAt(d.scratch, int64(no)*page.Size); err != nil {
+		return err
+	}
+	if no >= d.nPages {
+		d.nPages = no + 1
+	}
+	return nil
+}
+
+// writePageRaw stores an image verbatim, without sealing. Used by FaultDisk
+// to plant torn images into the file.
+func (d *FileDisk) writePageRaw(no PageNo, data page.Page) error {
 	if err := checkPageBuf(data); err != nil {
 		return err
 	}
@@ -93,10 +124,14 @@ func (d *FileDisk) Sync() error {
 	return d.f.Sync()
 }
 
-// NumPages implements Disk.
+// NumPages implements Disk. A closed disk reports zero pages, consistent
+// with every other method rejecting use after Close.
 func (d *FileDisk) NumPages() PageNo {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return 0
+	}
 	return d.nPages
 }
 

@@ -89,14 +89,49 @@ func (d *MemDisk) WritePage(no PageNo, data page.Page) error {
 	if d.writeLat > 0 {
 		time.Sleep(d.writeLat)
 	}
-	img := make([]byte, page.Size)
+	img := make(page.Page, page.Size)
 	copy(img, data)
+	img.UpdateChecksum() // seal: every stored image carries a valid checksum
 	d.pending[no] = img
 	if no >= d.nPages {
 		d.nPages = no + 1
 	}
 	d.writes++
 	return nil
+}
+
+// writePageRaw stores an image verbatim as durable content, without sealing
+// and without buffering. Used by FaultDisk to plant torn images.
+func (d *MemDisk) writePageRaw(no PageNo, data page.Page) error {
+	if err := checkPageBuf(data); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	img := make([]byte, page.Size)
+	copy(img, data)
+	d.stable[no] = img
+	if no >= d.nPages {
+		d.nPages = no + 1
+	}
+	return nil
+}
+
+// CorruptStable mutates the durable image of page no in place, for tests
+// that model media corruption (bit rot, torn writes) directly. It reports
+// whether a durable image existed.
+func (d *MemDisk) CorruptStable(no PageNo, mutate func(img page.Page)) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	img, ok := d.stable[no]
+	if !ok {
+		return false
+	}
+	mutate(img)
+	return true
 }
 
 // Sync implements Disk: every buffered write becomes durable.
@@ -114,10 +149,14 @@ func (d *MemDisk) Sync() error {
 	return nil
 }
 
-// NumPages implements Disk.
+// NumPages implements Disk. A closed disk reports zero pages, consistent
+// with every other method rejecting use after Close.
 func (d *MemDisk) NumPages() PageNo {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return 0
+	}
 	return d.nPages
 }
 

@@ -2,6 +2,8 @@ package storage
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -14,6 +16,15 @@ func fill(b byte) page.Page {
 		p[i] = b
 	}
 	return p
+}
+
+// sealed is the image a disk stores for data: WritePage seals every image
+// with the format-v2 header checksum.
+func sealed(data page.Page) page.Page {
+	img := page.New()
+	copy(img, data)
+	img.UpdateChecksum()
+	return img
 }
 
 func testDiskBasics(t *testing.T, d Disk) {
@@ -31,8 +42,11 @@ func testDiskBasics(t *testing.T, d Disk) {
 	if err := d.ReadPage(0, buf); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(buf, fill(1)) {
+	if !bytes.Equal(buf, sealed(fill(1))) {
 		t.Fatal("page 0 contents wrong")
+	}
+	if !buf.ChecksumOK() {
+		t.Fatal("stored image must be sealed with a valid checksum")
 	}
 	// Page 2 was never written: reads as zeros (sparse file semantics).
 	if err := d.ReadPage(2, buf); err != nil {
@@ -111,16 +125,92 @@ func TestMemDiskWrongBufferSize(t *testing.T) {
 	}
 }
 
-func TestMemDiskClosed(t *testing.T) {
-	d := NewMemDisk()
-	if err := d.Close(); err != nil {
+// TestClosedDiskConsistency checks that after Close every Disk method gives
+// a closed-consistent answer on every disk type: ErrClosed from the
+// error-returning methods, 0 from NumPages, and nil from a repeated Close.
+func TestClosedDiskConsistency(t *testing.T) {
+	disks := map[string]func(t *testing.T) Disk{
+		"MemDisk": func(t *testing.T) Disk { return NewMemDisk() },
+		"FileDisk": func(t *testing.T) Disk {
+			d, err := OpenFileDisk(filepath.Join(t.TempDir(), "pages.db"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"FaultDisk": func(t *testing.T) Disk {
+			d, err := NewFaultDisk(NewMemDisk(), FaultConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+	}
+	for name, open := range disks {
+		t.Run(name, func(t *testing.T) {
+			d := open(t)
+			if err := d.WritePage(0, fill(1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.ReadPage(0, page.New()); !errors.Is(err, ErrClosed) {
+				t.Errorf("ReadPage after close = %v, want ErrClosed", err)
+			}
+			if err := d.WritePage(0, page.New()); !errors.Is(err, ErrClosed) {
+				t.Errorf("WritePage after close = %v, want ErrClosed", err)
+			}
+			if err := d.Sync(); !errors.Is(err, ErrClosed) {
+				t.Errorf("Sync after close = %v, want ErrClosed", err)
+			}
+			if n := d.NumPages(); n != 0 {
+				t.Errorf("NumPages after close = %d, want 0", n)
+			}
+			if err := d.Close(); err != nil {
+				t.Errorf("second Close = %v, want nil", err)
+			}
+			if c, ok := d.(Crasher); ok {
+				if err := c.CrashPartial(CrashAll); !errors.Is(err, ErrClosed) {
+					t.Errorf("CrashPartial after close = %v, want ErrClosed", err)
+				}
+			}
+		})
+	}
+}
+
+// TestFileDiskPartialTailRead pins the ReadPage fix for a file whose last
+// page is only partially present: the short ReadAt must keep the bytes that
+// were read and zero only the unread suffix.
+func TestFileDiskPartialTailRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	d, err := OpenFileDisk(path)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.WritePage(0, page.New()); err == nil {
-		t.Fatal("write after close must fail")
+	defer d.Close()
+	if err := d.WritePage(0, fill(7)); err != nil {
+		t.Fatal(err)
 	}
-	if err := d.Sync(); err == nil {
-		t.Fatal("sync after close must fail")
+	// Truncate mid-page: the tail page now has a durable prefix only, as
+	// after a torn tail write.
+	const keep = 1000
+	if err := os.Truncate(path, keep); err != nil {
+		t.Fatal(err)
+	}
+	buf := page.New()
+	if err := d.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	want := sealed(fill(7))
+	if !bytes.Equal(buf[:keep], want[:keep]) {
+		t.Error("durable prefix of a partial tail page was discarded")
+	}
+	if !bytes.Equal(buf[keep:], make([]byte, page.Size-keep)) {
+		t.Error("unread suffix must be zeroed")
 	}
 }
 
