@@ -1,11 +1,12 @@
 # Single entry point for the repo's checks. `make check` is the whole CI:
-# vet + build + tier-1 tests + the race-enabled concurrency tests.
+# vet + build + tier-1 tests + the race-enabled concurrency tests + a
+# one-iteration smoke of the parallel benchmarks.
 
 GO ?= go
 
-.PHONY: check vet build test test-short race bench
+.PHONY: check vet build test test-short race bench bench-smoke bench-parallel
 
-check: vet build test race
+check: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,9 +22,21 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# The concurrent-access tests under the race detector.
+# The concurrent-access tests under the race detector: the §3.6 shared-mode
+# tree paths and the striped buffer pool's stat/flush surfaces.
 race:
 	$(GO) test -race ./internal/btree -run 'Concurrent'
+	$(GO) test -race ./internal/buffer -run 'Concurrent|Stats'
 
+# One iteration of each parallel benchmark: proves the concurrency plumbing
+# still works end to end without measuring anything.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 1x .
+
+# The full benchmark suite (paper experiments + parallel scaling).
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# The §3.6 scaling sweep behind BENCH_concurrency.json (see EXPERIMENTS.md).
+bench-parallel:
+	$(GO) run ./cmd/fastrec-bench -procs 1,2,4,8 -json

@@ -28,8 +28,10 @@ const (
 // recovery restored a well-formed tree and that normal operation never
 // degrades one.
 func (t *Tree) Check(mode CheckMode) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	// Exclusive: inserts also run under the shared lock now, and a checker
+	// racing a half-applied split would report phantom violations.
+	t.mu.Lock()
+	defer t.mu.Unlock()
 
 	metaFrame, err := t.pool.Get(0)
 	if err != nil {
@@ -185,8 +187,9 @@ func (t *Tree) checkPeerChain(leaves []uint32) error {
 // The vacuum treats everything else in the file as garbage to reclaim
 // (§3.3.3: freelist regeneration is a garbage-collection task).
 func (t *Tree) ReachablePages() (map[uint32]bool, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	// Exclusive for the same reason as Check: shared mode admits writers.
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	reach := map[uint32]bool{0: true}
 	metaFrame, err := t.pool.Get(0)
 	if err != nil {

@@ -10,9 +10,10 @@ import (
 )
 
 // §3.6 claims the trees tolerate concurrent access, including concurrent
-// discovery of crash damage. Writers are serialized in this reproduction,
-// but readers run in parallel and must upgrade safely when they find
-// damage; these tests drive those paths under the race detector.
+// discovery of crash damage. Inserts, lookups, and scans all run in
+// shared mode (concurrent.go); these tests drive the concurrent paths —
+// including insert↔insert races on disjoint leaves and split-vs-read
+// interleavings — under the race detector.
 
 // TestConcurrentLookupsTriggerRepairOnce crashes a split, then lets many
 // goroutines look up keys across the damaged range simultaneously. All must
@@ -131,6 +132,134 @@ func TestConcurrentScansAndWrites(t *testing.T) {
 	}
 	if err := tr.Check(CheckStrict); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentWritersThenCrashRecovers is the §3.6 end-to-end stress:
+// N writer goroutines inserting disjoint key ranges race M reader
+// goroutines over one tree; a sync commits the first phase of the load, a
+// partial crash loses an arbitrary subset of the second, and recovery must
+// then produce a structurally sound tree containing every committed key.
+func TestConcurrentWritersThenCrashRecovers(t *testing.T) {
+	const (
+		writers   = 4
+		readers   = 3
+		perWriter = 400
+	)
+	// load runs the concurrent phase over keys [base+g*perWriter, +n) for
+	// each writer g, with readers scanning and spot-checking throughout.
+	load := func(t *testing.T, tr *Tree, base, n int) {
+		var wWg, rWg sync.WaitGroup
+		errs := make(chan error, writers+readers)
+		stop := make(chan struct{})
+		for g := 0; g < writers; g++ {
+			g := g
+			wWg.Add(1)
+			go func() {
+				defer wWg.Done()
+				lo := base + g*perWriter
+				for i := lo; i < lo+n; i++ {
+					if err := tr.Insert(u32key(i), val(i)); err != nil {
+						errs <- fmt.Errorf("writer %d key %d: %w", g, i, err)
+						return
+					}
+					// Read-own-write: the insert must be visible at once.
+					if got, err := tr.Lookup(u32key(i)); err != nil {
+						errs <- fmt.Errorf("read-own-write %d: %w", i, err)
+						return
+					} else if !bytes.Equal(got, val(i)) {
+						errs <- fmt.Errorf("read-own-write %d: wrong value", i)
+						return
+					}
+				}
+			}()
+		}
+		for g := 0; g < readers; g++ {
+			rWg.Add(1)
+			go func() {
+				defer rWg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					prev := -1
+					err := tr.Scan(nil, nil, func(k, _ []byte) bool {
+						kk := int(uint32(k[0])<<24 | uint32(k[1])<<16 | uint32(k[2])<<8 | uint32(k[3]))
+						if kk <= prev {
+							errs <- fmt.Errorf("scan out of order: %d after %d", kk, prev)
+							return false
+						}
+						prev = kk
+						return true
+					})
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wWg.Wait()
+		close(stop)
+		rWg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range protectedVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			d := storage.NewMemDisk()
+			tr, err := Open(d, v, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Phase 1: concurrent load, committed by a sync.
+			load(t, tr, 0, perWriter)
+			if err := tr.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			// Phase 2: more concurrent load that will be interrupted.
+			load(t, tr, writers*perWriter, perWriter/2)
+			if err := tr.Pool().FlushDirty(); err != nil {
+				t.Fatal(err)
+			}
+			// Crash: an arbitrary-looking but deterministic subset of the
+			// handed-off pages survives.
+			if err := d.CrashPartial(func(pending []storage.PageNo) []storage.PageNo {
+				var keep []storage.PageNo
+				for i, no := range pending {
+					if i%3 != 1 {
+						keep = append(keep, no)
+					}
+				}
+				return keep
+			}); err != nil {
+				t.Fatal(err)
+			}
+			tr2, err := Open(d, v, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr2.RecoverAll(); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr2.Check(CheckStrict); err != nil {
+				t.Fatal(err)
+			}
+			// Every committed key must have survived with its value.
+			for i := 0; i < writers*perWriter; i++ {
+				got, err := tr2.Lookup(u32key(i))
+				if err != nil {
+					t.Fatalf("committed key %d lost: %v", i, err)
+				}
+				if !bytes.Equal(got, val(i)) {
+					t.Fatalf("committed key %d: wrong value", i)
+				}
+			}
+		})
 	}
 }
 

@@ -12,8 +12,10 @@ import (
 // rendered rather than repaired, so a post-crash dump shows exactly what
 // recovery will face.
 func (t *Tree) Dump() string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	// Exclusive: shared mode admits writers, and a dump should be a
+	// consistent point-in-time picture.
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var b strings.Builder
 	metaFrame, err := t.pool.Get(0)
 	if err != nil {

@@ -2,6 +2,7 @@ package btree
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"repro/internal/buffer"
@@ -19,6 +20,27 @@ func (t *Tree) Insert(key, value []byte) error {
 		return err
 	}
 	t.Stats.Inserts.Add(1)
+	for attempt := 0; attempt < maxSharedRetries; attempt++ {
+		t.mu.RLock()
+		ver := t.structVer.Load()
+		var err error
+		if ver%2 != 0 {
+			err = errRetryShared // split in flight: snapshot again
+		} else {
+			err = t.insertShared(key, value, ver)
+		}
+		t.mu.RUnlock()
+		if errors.Is(err, errRetryShared) {
+			retryBackoff(attempt)
+			continue
+		}
+		if errors.Is(err, errNeedsExclusive) || errors.Is(err, errNeedsRepair) {
+			break
+		}
+		return err
+	}
+	// Fall back to the exclusive path: repairs, empty-tree creation, and
+	// blocked syncs all live here.
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.insertLocked(key, value)
@@ -132,14 +154,22 @@ func (t *Tree) createRootLeaf(key, value []byte) error {
 //	    the backups are no longer needed.
 //	(3) token < last crash: resolved during the descent (resolveBackups);
 //	    whatever survives that resolution lands in case (1) or (2).
+//
+// The reads below run unlatched: internal pages are only mutated under
+// splitMu or the exclusive lock, one of which every caller holds. The
+// blocked sync runs latch-free (sync flushes under shared frame latches),
+// and only the reclaim itself — a page mutation visible to concurrent
+// shared descents — takes the write latch.
 func (t *Tree) ensureSafeForUpdate(path []pathEntry, depth int) error {
 	f := path[depth].frame
 	if f.Data.PrevNKeys() == 0 {
 		return nil
 	}
 	if !t.protected() {
+		f.WLatch()
 		reclaimBackups(f.Data)
 		f.MarkDirty()
+		f.WUnlatch()
 		return nil
 	}
 	if f.Data.SyncToken() == t.counter.Current() {
@@ -148,8 +178,10 @@ func (t *Tree) ensureSafeForUpdate(path []pathEntry, depth int) error {
 			return err
 		}
 	}
+	f.WLatch()
 	reclaimBackups(f.Data)
 	f.MarkDirty()
+	f.WUnlatch()
 	t.Stats.BackupReclaims.Add(1)
 	return nil
 }
@@ -171,6 +203,8 @@ type promo struct {
 	// existing prevPtr (or the existing previous root) is reused.
 	prev      uint32
 	prevValid bool
+	// level of the page that was split, for growRoot.
+	level uint8
 }
 
 // splitPage splits the (full) page at path[depth] with the technique that
@@ -180,6 +214,36 @@ type promo struct {
 // and must not be used except to unpin.
 func (t *Tree) splitPage(path []pathEntry, depth int, hintKey []byte) (promo, error) {
 	node := &path[depth]
+	// Latch the page being split for the whole reorganization: shared-mode
+	// readers must see it either whole or fully split, never mid-copy.
+	// splitReorg swaps node.frame for the shadow replacement, so keep the
+	// originally latched frame to unlatch.
+	nf := node.frame
+	nf.WLatch()
+	pr, err := t.splitPageLatched(node, hintKey)
+	nf.WUnlatch()
+	if err != nil {
+		return promo{}, err
+	}
+	// The parent update runs latch-free at this level; insertPromo and
+	// growRoot take their own latches (and may block for a sync, which
+	// must never happen under a frame latch).
+	if depth == 0 {
+		if err := t.growRoot(pr); err != nil {
+			return promo{}, err
+		}
+		return pr, nil
+	}
+	if err := t.insertPromo(path, depth-1, pr); err != nil {
+		return promo{}, err
+	}
+	return pr, nil
+}
+
+// splitPageLatched performs the page-local half of a split — choosing the
+// separator and running the variant's technique — with the node's write
+// latch held by the caller. It stores the split level in pr for growRoot.
+func (t *Tree) splitPageLatched(node *pathEntry, hintKey []byte) (promo, error) {
 	level := node.frame.Data.Level()
 	items, err := liveItems(node.frame.Data)
 	if err != nil {
@@ -211,16 +275,7 @@ func (t *Tree) splitPage(path []pathEntry, depth int, hintKey []byte) (promo, er
 	if err != nil {
 		return promo{}, err
 	}
-
-	if depth == 0 {
-		if err := t.growRoot(node, level, pr); err != nil {
-			return promo{}, err
-		}
-		return pr, nil
-	}
-	if err := t.insertPromo(path, depth-1, pr); err != nil {
-		return promo{}, err
-	}
+	pr.level = level
 	return pr, nil
 }
 
@@ -249,7 +304,7 @@ func splitPoint(items [][]byte) (int, error) {
 // root page splits, a new root page is created containing two <key,data>
 // pairs pointing to the two halves of the old root") and maintains the
 // meta page's current/previous root pointers.
-func (t *Tree) growRoot(oldRoot *pathEntry, oldLevel uint8, pr promo) error {
+func (t *Tree) growRoot(pr promo) error {
 	metaFrame, err := t.pool.Get(0)
 	if err != nil {
 		return err
@@ -262,7 +317,11 @@ func (t *Tree) growRoot(oldRoot *pathEntry, oldLevel uint8, pr promo) error {
 		return err
 	}
 	defer f.Unpin()
-	t.initTreePage(f, oldLevel+1)
+	// The new root is invisible until the meta page names it, but latch it
+	// anyway: a freshly recycled page number can still be reached through
+	// stale pointers by a concurrent shared descent.
+	f.WLatch()
+	t.initTreePage(f, pr.level+1)
 	shadow := f.Data.HasFlag(page.FlagShadow)
 	prev := pr.prev
 	if !pr.prevValid {
@@ -275,20 +334,28 @@ func (t *Tree) growRoot(oldRoot *pathEntry, oldLevel uint8, pr promo) error {
 	for i, e := range entries {
 		off, err := f.Data.AddItem(encodeInternalItem(e, shadow))
 		if err != nil {
+			f.WUnlatch()
 			return err
 		}
 		if err := f.Data.InsertSlot(i, off); err != nil {
+			f.WUnlatch()
 			return err
 		}
 	}
 	f.MarkDirty()
+	rootTok := f.Data.SyncToken()
+	f.WUnlatch()
 
+	// Shared descents read the root pointer and token under the meta
+	// page's read latch; publish the new root under the write latch.
+	metaFrame.WLatch()
 	if pr.prevValid {
 		m.setPrevRoot(pr.prev)
 	}
 	m.setRoot(no)
-	m.setRootToken(f.Data.SyncToken())
+	m.setRootToken(rootTok)
 	metaFrame.MarkDirty()
+	metaFrame.WUnlatch()
 	t.Stats.RootSplits.Add(1)
 	return nil
 }
@@ -308,7 +375,10 @@ func (t *Tree) insertPromo(path []pathEntry, depth int, pr promo) error {
 	shadow := pp.HasFlag(page.FlagShadow)
 	enc := encodeInternalItem(internalItem{sep: pr.sep, child: pr.highNo, prev: pr.prev}, shadow)
 	if pp.CanFit(len(enc)) {
-		return t.applyPromo(parent.frame, parent.idx, pr)
+		parent.frame.WLatch()
+		err := t.applyPromo(parent.frame, parent.idx, pr)
+		parent.frame.WUnlatch()
+		return err
 	}
 
 	// Parent is full: split it (recursively updating the grandparent),
@@ -326,6 +396,8 @@ func (t *Tree) insertPromo(path []pathEntry, depth int, pr promo) error {
 		return err
 	}
 	defer tf.Unpin()
+	tf.WLatch()
+	defer tf.WUnlatch()
 	idx, err := internalSearch(tf.Data, pr.sep)
 	if err != nil {
 		return err
@@ -349,6 +421,8 @@ func (t *Tree) insertPromo(path []pathEntry, depth int, pr promo) error {
 // orphaned item (harmless), with a repairable duplicate line-table entry,
 // or — after step 4 but before 5 — with K1 still naming the pre-split page,
 // which the inter-page range check catches and repairs on first use.
+//
+// The caller holds f's write latch.
 func (t *Tree) applyPromo(f *buffer.Frame, k1idx int, pr promo) error {
 	pp := f.Data
 	shadow := pp.HasFlag(page.FlagShadow)

@@ -135,6 +135,8 @@ func (s metaStore) Save(st synctoken.State) error {
 		return err
 	}
 	defer f.Unpin()
+	// Shared-mode descents read the meta page under its read latch.
+	f.WLatch()
 	if f.Data.IsZeroed() {
 		f.Data.Init(page.TypeMeta, 0)
 		metaPage{f.Data}.setVariant(s.t.variant)
@@ -148,6 +150,7 @@ func (s metaStore) Save(st synctoken.State) error {
 	}
 	f.Data[metaBase+mOffCtrFlags] = flags
 	f.MarkDirty()
+	f.WUnlatch()
 	// Write-through: everything currently dirty becomes durable, which
 	// is always safe under the paper's model (a sync can happen at any
 	// time) and keeps the counter invariant.

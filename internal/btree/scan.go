@@ -21,14 +21,20 @@ import (
 func (t *Tree) Scan(start, end []byte, fn func(key, value []byte) bool) error {
 	t.Stats.Scans.Add(1)
 	t.mu.RLock()
-	err := t.scanLocked(start, end, false, fn)
+	resume, err := t.scanShared(start, end, fn)
 	t.mu.RUnlock()
-	if !errors.Is(err, errNeedsRepair) {
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, errNeedsExclusive) && !errors.Is(err, errRetryShared) &&
+		!errors.Is(err, errNeedsRepair) {
 		return err
 	}
+	// Fall back to the exclusive (repairing) path, resuming at the cursor
+	// the shared scan reached so no pair is emitted twice.
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.scanLocked(start, end, true, fn)
+	return t.scanLocked(resume, end, true, fn)
 }
 
 func (t *Tree) scanLocked(start, end []byte, repair bool, fn func(key, value []byte) bool) error {

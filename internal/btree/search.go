@@ -297,12 +297,29 @@ func (t *Tree) Lookup(key []byte) ([]byte, error) {
 		return nil, err
 	}
 	t.Stats.Lookups.Add(1)
-	t.mu.RLock()
-	v, err := t.lookupLocked(key, false)
-	t.mu.RUnlock()
-	if !errors.Is(err, errNeedsRepair) {
-		return v, err
+	for attempt := 0; attempt < maxSharedRetries; attempt++ {
+		t.mu.RLock()
+		ver := t.structVer.Load()
+		var (
+			val []byte
+			err error
+		)
+		if ver%2 != 0 {
+			err = errRetryShared // split in flight: snapshot again
+		} else {
+			val, err = t.lookupShared(key, ver)
+		}
+		t.mu.RUnlock()
+		if errors.Is(err, errRetryShared) {
+			retryBackoff(attempt)
+			continue
+		}
+		if errors.Is(err, errNeedsExclusive) || errors.Is(err, errNeedsRepair) {
+			break
+		}
+		return val, err
 	}
+	// Fall back to the exclusive path, which may repair.
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.lookupLocked(key, true)

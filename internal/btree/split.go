@@ -32,6 +32,15 @@ func (t *Tree) splitShadow(node *pathEntry, lowItems, highItems [][]byte, sep []
 	}
 	defer highF.Unpin()
 
+	// The new halves are not yet linked into the tree, but a recycled page
+	// number can still be reached through stale pointers by a concurrent
+	// shared descent: build both under their write latches. (The caller
+	// holds node's latch; only the splitMu holder latches several frames.)
+	lowF.WLatch()
+	defer lowF.WUnlatch()
+	highF.WLatch()
+	defer highF.WUnlatch()
+
 	t.initTreePage(lowF, level)
 	if err := buildPage(lowF.Data, lowItems); err != nil {
 		return promo{}, err
@@ -41,7 +50,7 @@ func (t *Tree) splitShadow(node *pathEntry, lowItems, highItems [][]byte, sep []
 		return promo{}, err
 	}
 	if level == 0 {
-		if err := t.relinkPeers(leftPeer, rightPeer, lowNo, lowF, highNo, highF); err != nil {
+		if err := t.relinkPeers(leftPeer, rightPeer, lowNo, lowF, highNo, highF, node.frame); err != nil {
 			return promo{}, err
 		}
 	}
@@ -80,6 +89,8 @@ func (t *Tree) splitNormal(node *pathEntry, lowItems, highItems [][]byte, sep []
 		return promo{}, err
 	}
 	defer highF.Unpin()
+	highF.WLatch() // see splitShadow: recycled numbers are reachable
+	defer highF.WUnlatch()
 	t.initTreePage(highF, level)
 	if err := buildPage(highF.Data, highItems); err != nil {
 		return promo{}, err
@@ -90,7 +101,7 @@ func (t *Tree) splitNormal(node *pathEntry, lowItems, highItems [][]byte, sep []
 		return promo{}, err
 	}
 	if level == 0 {
-		if err := t.relinkPeers(leftPeer, rightPeer, node.no, node.frame, highNo, highF); err != nil {
+		if err := t.relinkPeers(leftPeer, rightPeer, node.no, node.frame, highNo, highF, node.frame); err != nil {
 			return promo{}, err
 		}
 	}
@@ -128,6 +139,8 @@ func (t *Tree) splitReorg(node *pathEntry, lowItems, highItems [][]byte, sep []b
 		return promo{}, err
 	}
 	defer pbF.Unpin()
+	pbF.WLatch() // see splitShadow: recycled numbers are reachable
+	defer pbF.WUnlatch()
 	t.initTreePage(pbF, level)
 	if err := buildPage(pbF.Data, liveB); err != nil {
 		return promo{}, err
@@ -159,13 +172,15 @@ func (t *Tree) splitReorg(node *pathEntry, lowItems, highItems [][]byte, sep []b
 		highNo, highF = node.no, paF
 	}
 	if level == 0 {
-		if err := t.relinkPeers(leftPeer, rightPeer, lowNo, lowF, highNo, highF); err != nil {
+		if err := t.relinkPeers(leftPeer, rightPeer, lowNo, lowF, highNo, highF, node.frame, paF); err != nil {
 			return promo{}, err
 		}
 	}
 
-	// Step 5: remap P_a over P. The path entry now refers to the
-	// replaced frame; swap in the live one, preserving pin balance.
+	// Step 5: remap P_a over P. P_a is fully built before this point: the
+	// moment the remap publishes it under P's page number a concurrent
+	// shared descent may latch and read it. The path entry now refers to
+	// the replaced frame; swap in the live one, preserving pin balance.
 	t.pool.Remap(paF, node.no)
 	paF.Pin() // pin transferred to the path entry
 	node.frame.Unpin()
@@ -185,8 +200,23 @@ func (t *Tree) splitReorg(node *pathEntry, lowItems, highItems [][]byte, sep []b
 // chain and resets the peer-pointer sync tokens on both ends of every
 // touched link (§3.5.1): a link is trusted only while the tokens on its two
 // ends agree.
-func (t *Tree) relinkPeers(leftPeer, rightPeer uint32, lowNo uint32, lowF *buffer.Frame, highNo uint32, highF *buffer.Frame) error {
+//
+// The caller holds the write latches of lowF, highF, and every frame in
+// held (the split page and its replacement). Neighbors are latched here —
+// unless a damaged peer pointer names a frame already in hand, in which
+// case re-latching would self-deadlock; the two neighbor blocks are
+// strictly sequential, so at most one extra latch is held at a time.
+func (t *Tree) relinkPeers(leftPeer, rightPeer uint32, lowNo uint32, lowF *buffer.Frame, highNo uint32, highF *buffer.Frame, held ...*buffer.Frame) error {
 	tok := t.counter.Current()
+	held = append(held, lowF, highF)
+	latched := func(f *buffer.Frame) bool {
+		for _, h := range held {
+			if h == f {
+				return true
+			}
+		}
+		return false
+	}
 
 	lowF.Data.SetRightPeer(highNo)
 	lowF.Data.SetRightPeerToken(tok)
@@ -199,11 +229,18 @@ func (t *Tree) relinkPeers(leftPeer, rightPeer uint32, lowNo uint32, lowF *buffe
 		if err != nil {
 			return err
 		}
+		ours := latched(lf)
+		if !ours {
+			lf.WLatch()
+		}
 		if lf.Data.Valid() && lf.Data.Type() == page.TypeLeaf {
 			lf.Data.SetRightPeer(lowNo)
 			lf.Data.SetRightPeerToken(tok)
 			lowF.Data.SetLeftPeerToken(tok)
 			lf.MarkDirty()
+		}
+		if !ours {
+			lf.WUnlatch()
 		}
 		lf.Unpin()
 	}
@@ -213,11 +250,18 @@ func (t *Tree) relinkPeers(leftPeer, rightPeer uint32, lowNo uint32, lowF *buffe
 		if err != nil {
 			return err
 		}
+		ours := latched(rf)
+		if !ours {
+			rf.WLatch()
+		}
 		if rf.Data.Valid() && rf.Data.Type() == page.TypeLeaf {
 			rf.Data.SetLeftPeer(highNo)
 			rf.Data.SetLeftPeerToken(tok)
 			highF.Data.SetRightPeerToken(tok)
 			rf.MarkDirty()
+		}
+		if !ours {
+			rf.WUnlatch()
 		}
 		rf.Unpin()
 	}

@@ -64,13 +64,15 @@ type Stats struct {
 
 // Tree is one B-link-tree index over a page file.
 //
-// Concurrency: lookups and scans may run concurrently with each other;
-// inserts, deletes, and recovery repairs are exclusive. (The paper's §3.6
-// describes a Lehman-Yao-derived protocol with split locks permitting
-// concurrent writers; this reproduction keeps the split lock and the
-// pin-before-unlatch discipline but serializes writers with a tree-level
-// lock, which preserves every crash-recovery property under test and the
-// single-threaded performance profile of Table 1.)
+// Concurrency (§3.6): lookups, scans, and inserts all run under the
+// shared tree lock, ordered by per-frame latches with the Lehman-Yao
+// pin-before-unlatch discipline and right-link chasing; splits serialize
+// on the split lock and advertise themselves through a structure-version
+// seqlock (see concurrent.go). Deletes, merges, and crash repairs take
+// the tree lock exclusively — the paper permits exclusive repairs, and it
+// lets the repair code assume a quiescent tree. Shared operations that
+// detect damage (rather than a racing split) fall back to the exclusive
+// path, which owns all repairs.
 type Tree struct {
 	pool    *buffer.Pool
 	counter *synctoken.Counter
@@ -78,11 +80,17 @@ type Tree struct {
 	variant Variant
 	opts    Options
 
-	mu sync.RWMutex // readers shared, writers/repairs exclusive
+	mu sync.RWMutex // shared: lookups/scans/inserts; exclusive: deletes/repairs
 
 	// splitMu is the split lock of §3.6: it conflicts only with other
 	// splits, and is acquired before the page write latch.
 	splitMu sync.Mutex
+
+	// structVer is a seqlock on the tree structure: odd exactly while a
+	// shared-mode split is reorganizing pages (bumped under splitMu).
+	// Shared operations validate negative results against it; see
+	// concurrent.go for the protocol.
+	structVer atomic.Uint64
 
 	// pendingFree holds pages replaced by splits; they move to the
 	// freelist only after the next sync, when the pages that supersede

@@ -7,6 +7,14 @@
 // page-reorganization split: an in-memory-only page is remapped to another
 // page's disk location, so the next sync overwrites the original.
 //
+// The pool is lock-striped: frames are spread over N partitions keyed by
+// pageNo % N, each with its own mutex, frame map, and clock hand, so
+// concurrent Get/Pin/Unpin on distinct pages do not contend on a single
+// lock. The partition count scales with capacity (one stripe per 16
+// frames, up to 16 stripes), which keeps tiny test pools on a single
+// partition with the exact legacy eviction behavior while production-sized
+// pools stripe fully.
+//
 // Per §3.6, the page allocator must not recycle a page whose buffer is
 // pinned by a concurrent reader; PinCount exposes the information the
 // allocator needs.
@@ -17,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/page"
@@ -25,6 +34,13 @@ import (
 
 // DefaultCapacity is the default number of frames in a pool.
 const DefaultCapacity = 1024
+
+// maxPartitions caps the stripe count; framesPerPartition is the minimum
+// quota that justifies a dedicated stripe.
+const (
+	maxPartitions      = 16
+	framesPerPartition = 16
+)
 
 // RetryPolicy bounds the pool's handling of storage.ErrTransient: each
 // page I/O is attempted up to MaxAttempts times, sleeping BaseDelay before
@@ -59,41 +75,90 @@ type IOStats struct {
 	TornPagesRepaired int64
 }
 
-// Pool caches pages of a single Disk.
+// PartitionStat is one stripe's share of the pool, reported by
+// PartitionStats for observability (fastrec-bench -v).
+type PartitionStat struct {
+	Partition int   `json:"partition"`
+	Frames    int   `json:"frames"`
+	Quota     int   `json:"quota"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+}
+
+// partition is one lock stripe of the pool: a frame map plus a clock hand
+// over the frames this stripe caches (pages with pageNo % nParts == index).
+type partition struct {
+	pool *Pool
+
+	mu     sync.RWMutex
+	frames map[storage.PageNo]*Frame
+	quota  int      // max frames resident in this stripe
+	clock  []*Frame // eviction candidates, swept by the clock hand
+	hand   int      // clock hand position
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Pool caches pages of a single Disk across lock-striped partitions.
 type Pool struct {
 	disk storage.Disk
 
-	mu       sync.Mutex
-	frames   map[storage.PageNo]*Frame
+	parts  []*partition
+	nParts uint32
+
 	capacity int
-	clock    []*Frame // eviction candidates, swept by the clock hand
-	hand     int      // clock hand position
-	hits     int64
-	misses   int64
-	retry    RetryPolicy
-	io       IOStats
+	retry    atomic.Pointer[RetryPolicy]
+
+	// Fault-handling counters, atomic so stat readers never contend with
+	// the page-access hot path.
+	ioRetries  atomic.Int64
+	ioChecksum atomic.Int64
+	ioTorn     atomic.Int64
 }
 
 // Frame is a buffered page. The page contents must only be accessed while
 // holding the frame's latch (RLatch for readers, WLatch for writers) and
-// with the frame pinned.
+// with the frame pinned. (Single-threaded exclusive-mode tree operations
+// may skip the latch: with no concurrent pool users there is nothing to
+// order against.)
 type Frame struct {
 	pool  *Pool
 	latch sync.RWMutex
 
-	// The fields below are protected by pool.mu.
+	// pageNo is immutable once the frame is visible to other goroutines;
+	// Remap rewrites it only on a detached frame still private to its
+	// creator, before publishing it under the target partition's mutex.
 	pageNo storage.PageNo
-	pins   int
-	dirty  bool
-	valid  bool
-	ref    bool // clock reference bit: set on access, cleared by the sweep
+
+	pins  atomic.Int32
+	dirty atomic.Bool
+	ref   atomic.Bool // clock reference bit: set on access, cleared by the sweep
+
+	// valid is protected by the owning partition's mutex.
+	valid bool
 	// zeroRouted records that this frame's durable image failed
 	// verification and was served as a zero page for crash repair; the
-	// next write of valid contents counts as a torn-page repair.
+	// next write of valid contents counts as a torn-page repair. Set
+	// during the load (under the partition mutex, before the frame is
+	// shared) and cleared by writeFrame; writeFrame calls on one frame
+	// never overlap (flushers pin, evictors skip pinned frames).
 	zeroRouted bool
 
 	// Data is the page image. Latch-protected.
 	Data page.Page
+}
+
+// partitionCount picks the stripe count for a capacity: one stripe per
+// framesPerPartition frames, capped at maxPartitions. Pools smaller than
+// 2*framesPerPartition get a single stripe and therefore behave exactly
+// like the unsharded pool.
+func partitionCount(capacity int) int {
+	n := 1
+	for n < maxPartitions && capacity/(n*2) >= framesPerPartition {
+		n *= 2
+	}
+	return n
 }
 
 // NewPool creates a pool over disk with the given frame capacity
@@ -102,107 +167,156 @@ func NewPool(disk storage.Disk, capacity int) *Pool {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Pool{
+	n := partitionCount(capacity)
+	p := &Pool{
 		disk:     disk,
-		frames:   make(map[storage.PageNo]*Frame),
+		parts:    make([]*partition, n),
+		nParts:   uint32(n),
 		capacity: capacity,
-		retry:    DefaultRetryPolicy,
 	}
+	quota := (capacity + n - 1) / n
+	for i := range p.parts {
+		p.parts[i] = &partition{
+			pool:   p,
+			frames: make(map[storage.PageNo]*Frame),
+			quota:  quota,
+		}
+	}
+	rp := DefaultRetryPolicy
+	p.retry.Store(&rp)
+	return p
 }
 
 // Disk returns the underlying storage device.
 func (p *Pool) Disk() storage.Disk { return p.disk }
 
-// SetRetryPolicy replaces the transient-error retry policy.
+// Partitions returns the number of lock stripes.
+func (p *Pool) Partitions() int { return int(p.nParts) }
+
+// part returns the stripe owning page no.
+func (p *Pool) part(no storage.PageNo) *partition {
+	return p.parts[uint32(no)%p.nParts]
+}
+
+// SetRetryPolicy replaces the transient-error retry policy. The policy is
+// swapped atomically, so it never contends with in-flight page I/O.
 func (p *Pool) SetRetryPolicy(rp RetryPolicy) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if rp.MaxAttempts < 1 {
 		rp.MaxAttempts = 1
 	}
-	p.retry = rp
+	p.retry.Store(&rp)
 }
 
 // IOStats returns a snapshot of the fault-handling counters.
 func (p *Pool) IOStats() IOStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.io
+	return IOStats{
+		Retries:           p.ioRetries.Load(),
+		ChecksumFailures:  p.ioChecksum.Load(),
+		TornPagesRepaired: p.ioTorn.Load(),
+	}
 }
 
 // Get pins and returns the frame for page no, reading it from storage on a
 // miss. The caller must Unpin it.
 func (p *Pool) Get(no storage.PageNo) (*Frame, error) {
-	p.mu.Lock()
-	if f, ok := p.frames[no]; ok {
-		f.pins++
-		f.ref = true
-		p.hits++
-		p.mu.Unlock()
+	pt := p.part(no)
+	// Hit fast path: shared lock, atomic pin.
+	pt.mu.RLock()
+	if f, ok := pt.frames[no]; ok {
+		f.pins.Add(1)
+		f.ref.Store(true)
+		pt.hits.Add(1)
+		pt.mu.RUnlock()
 		return f, nil
 	}
-	p.misses++
-	f, err := p.allocFrameLocked(no)
-	if err != nil {
-		p.mu.Unlock()
-		return nil, err
-	}
-	// Hold pool.mu during the read: pools are not read-latency critical
-	// in this reproduction and this keeps a concurrent Get for the same
-	// page from seeing a half-filled frame.
-	if no < p.disk.NumPages() {
-		if err := p.readFrameLocked(no, f); err != nil {
-			f.valid = false
-			delete(p.frames, no)
-			for i, cf := range p.clock {
-				if cf == f {
-					p.clock = append(p.clock[:i], p.clock[i+1:]...)
-					break
-				}
-			}
-			p.mu.Unlock()
+	pt.mu.RUnlock()
+
+	pt.mu.Lock()
+	for {
+		// Re-check: another goroutine may have loaded the page while we
+		// upgraded (or while an eviction write released the lock).
+		if f, ok := pt.frames[no]; ok {
+			f.pins.Add(1)
+			f.ref.Store(true)
+			pt.hits.Add(1)
+			pt.mu.Unlock()
+			return f, nil
+		}
+		dropped, err := pt.ensureRoomLocked()
+		if err != nil {
+			pt.mu.Unlock()
 			return nil, err
 		}
-	} else {
-		for i := range f.Data {
-			f.Data[i] = 0
+		if !dropped {
+			break
 		}
 	}
-	p.mu.Unlock()
+	pt.misses.Add(1)
+	f := pt.installFrameLocked(no)
+	if no >= p.disk.NumPages() {
+		pt.mu.Unlock()
+		return f, nil // installFrameLocked data starts zeroed
+	}
+	// Read OUTSIDE the stripe lock, holding the frame's write latch: a
+	// concurrent Get for the same page finds the frame immediately (misses
+	// on the stripe proceed in parallel), and the tree-level discipline of
+	// latching a frame before reading its contents makes such a racer wait
+	// on the latch until the fill completes.
+	f.latch.Lock()
+	pt.mu.Unlock()
+	err := p.readFrame(no, f)
+	f.latch.Unlock()
+	if err != nil {
+		// Unpublish the dead frame. A racer that pinned it meanwhile sees
+		// a zeroed page, which the index validation layers reject — the
+		// same face persistent device damage already wears.
+		pt.mu.Lock()
+		f.valid = false
+		delete(pt.frames, no)
+		for i, cf := range pt.clock {
+			if cf == f {
+				pt.clock = append(pt.clock[:i], pt.clock[i+1:]...)
+				break
+			}
+		}
+		pt.mu.Unlock()
+		return nil, err
+	}
 	return f, nil
 }
 
-// readFrameLocked fills f.Data from disk with transient-error retries and
+// readFrame fills f.Data from disk with transient-error retries and
 // checksum verification. A page whose image persistently fails its checksum
 // (or whose sector is unreadable) is classified "never became durable" and
 // served as a zero page, which the index-level crash-repair machinery
 // rebuilds on use — except page 0, the meta page, which has no redundant
 // copy to rebuild from and is therefore a hard error.
-func (p *Pool) readFrameLocked(no storage.PageNo, f *Frame) error {
-	err := p.readPageRetryLocked(no, f.Data)
+func (p *Pool) readFrame(no storage.PageNo, f *Frame) error {
+	err := p.readPageRetry(no, f.Data)
 	for reread := 0; err == nil && !f.Data.ChecksumOK(); reread++ {
 		if reread >= checksumRereads {
-			return p.routeNeverDurableLocked(no, f, "checksum mismatch")
+			return p.routeNeverDurable(no, f, "checksum mismatch")
 		}
 		// Re-read: transient corruption (a flipped bit on the wire)
 		// clears on retry; real damage does not.
-		p.io.Retries++
-		err = p.readPageRetryLocked(no, f.Data)
+		p.ioRetries.Add(1)
+		err = p.readPageRetry(no, f.Data)
 	}
 	if errors.Is(err, storage.ErrBadSector) {
-		return p.routeNeverDurableLocked(no, f, "unreadable sector")
+		return p.routeNeverDurable(no, f, "unreadable sector")
 	}
 	return err
 }
 
-// readPageRetryLocked issues a page read, retrying storage.ErrTransient
-// under the pool's RetryPolicy.
-func (p *Pool) readPageRetryLocked(no storage.PageNo, buf page.Page) error {
-	delay := p.retry.BaseDelay
+// readPageRetry issues a page read, retrying storage.ErrTransient under
+// the pool's RetryPolicy.
+func (p *Pool) readPageRetry(no storage.PageNo, buf page.Page) error {
+	rp := p.retry.Load()
+	delay := rp.BaseDelay
 	var err error
-	for attempt := 0; attempt < p.retry.MaxAttempts; attempt++ {
+	for attempt := 0; attempt < rp.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			p.io.Retries++
+			p.ioRetries.Add(1)
 			if delay > 0 {
 				time.Sleep(delay)
 				delay *= 2
@@ -215,14 +329,15 @@ func (p *Pool) readPageRetryLocked(no storage.PageNo, buf page.Page) error {
 	return err
 }
 
-// writePageRetryLocked issues a page write, retrying storage.ErrTransient
-// under the pool's RetryPolicy.
-func (p *Pool) writePageRetryLocked(no storage.PageNo, data page.Page) error {
-	delay := p.retry.BaseDelay
+// writePageRetry issues a page write, retrying storage.ErrTransient under
+// the pool's RetryPolicy.
+func (p *Pool) writePageRetry(no storage.PageNo, data page.Page) error {
+	rp := p.retry.Load()
+	delay := rp.BaseDelay
 	var err error
-	for attempt := 0; attempt < p.retry.MaxAttempts; attempt++ {
+	for attempt := 0; attempt < rp.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			p.io.Retries++
+			p.ioRetries.Add(1)
 			if delay > 0 {
 				time.Sleep(delay)
 				delay *= 2
@@ -235,9 +350,9 @@ func (p *Pool) writePageRetryLocked(no storage.PageNo, data page.Page) error {
 	return err
 }
 
-// routeNeverDurableLocked classifies page no's durable image as lost and
-// serves a zero page in its place, handing the damage to crash repair.
-func (p *Pool) routeNeverDurableLocked(no storage.PageNo, f *Frame, cause string) error {
+// routeNeverDurable classifies page no's durable image as lost and serves
+// a zero page in its place, handing the damage to crash repair.
+func (p *Pool) routeNeverDurable(no storage.PageNo, f *Frame, cause string) error {
 	if no == 0 {
 		// The meta page is overwritten in place and has no redundant
 		// copy; losing it is unrecoverable at this layer.
@@ -247,45 +362,66 @@ func (p *Pool) routeNeverDurableLocked(no storage.PageNo, f *Frame, cause string
 		f.Data[i] = 0
 	}
 	f.zeroRouted = true
-	p.io.ChecksumFailures++
+	p.ioChecksum.Add(1)
 	return nil
 }
 
-// writeFrameLocked is the single choke point through which every dirty
-// frame reaches the disk (eviction and flush), with transient-error
-// retries. Writing valid contents over a frame that was zero-routed is the
+// writeFrame is the single choke point through which every dirty frame
+// reaches the disk (eviction and flush), with transient-error retries.
+// Writing valid contents over a frame that was zero-routed is the
 // completion of a torn-page repair.
-func (p *Pool) writeFrameLocked(f *Frame) error {
-	if err := p.writePageRetryLocked(f.pageNo, f.Data); err != nil {
+//
+// Callers must guarantee no concurrent page mutation: eviction holds the
+// partition mutex and only writes unpinned frames (unpinned implies
+// unlatched under the pin-before-latch discipline), flushing pins the
+// frame and holds its RLatch. The dirty bit is cleared before the write;
+// MarkDirty requires the frame's write latch in concurrent contexts, so a
+// post-flush modification re-marks it without a lost update.
+func (p *Pool) writeFrame(f *Frame) error {
+	f.dirty.Store(false)
+	if err := p.writePageRetry(f.pageNo, f.Data); err != nil {
+		f.dirty.Store(true)
 		return err
 	}
 	if f.zeroRouted {
 		if !f.Data.IsZeroed() {
-			p.io.TornPagesRepaired++
+			p.ioTorn.Add(1)
 		}
 		f.zeroRouted = false
 	}
-	f.dirty = false
 	return nil
 }
 
 // NewPage pins and returns a zeroed frame for page no without reading
 // storage; used when formatting a freshly allocated page. Any existing
-// frame for no is reused (its contents zeroed).
+// frame for no is reused (its contents zeroed under the frame's write
+// latch, so a stale reader still latched onto the recycled page cannot
+// race the zeroing).
 func (p *Pool) NewPage(no storage.PageNo) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[no]; ok {
-		f.pins++
-		for i := range f.Data {
-			f.Data[i] = 0
+	pt := p.part(no)
+	pt.mu.Lock()
+	for {
+		if f, ok := pt.frames[no]; ok {
+			f.pins.Add(1)
+			pt.mu.Unlock()
+			f.WLatch()
+			for i := range f.Data {
+				f.Data[i] = 0
+			}
+			f.WUnlatch()
+			return f, nil
 		}
-		return f, nil
+		dropped, err := pt.ensureRoomLocked()
+		if err != nil {
+			pt.mu.Unlock()
+			return nil, err
+		}
+		if !dropped {
+			break
+		}
 	}
-	f, err := p.allocFrameLocked(no)
-	if err != nil {
-		return nil, err
-	}
+	f := pt.installFrameLocked(no)
+	pt.mu.Unlock()
 	return f, nil
 }
 
@@ -294,97 +430,105 @@ func (p *Pool) NewPage(no storage.PageNo) (*Frame, error) {
 // split's step (1). It becomes a real page via Remap. Detached frames are
 // never evicted or written.
 func (p *Pool) NewDetached() *Frame {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f := &Frame{pool: p, pageNo: detachedPageNo, pins: 1, valid: true, Data: page.New()}
+	f := &Frame{pool: p, pageNo: detachedPageNo, valid: true, Data: page.New()}
+	f.pins.Store(1)
 	return f
 }
 
 // detachedPageNo marks a frame with no disk identity.
 const detachedPageNo = ^storage.PageNo(0)
 
-// allocFrameLocked finds or evicts a frame for page no and pins it.
-func (p *Pool) allocFrameLocked(no storage.PageNo) (*Frame, error) {
-	if len(p.frames) >= p.capacity {
-		if err := p.evictLocked(); err != nil {
-			return nil, err
-		}
-	}
-	f := &Frame{pool: p, pageNo: no, pins: 1, valid: true, Data: page.New()}
-	p.frames[no] = f
-	p.clock = append(p.clock, f)
-	return f, nil
+// installFrameLocked inserts a fresh pinned frame for page no into the
+// stripe's map and clock, with pt.mu held. The caller has already made
+// room with ensureRoomLocked.
+func (pt *partition) installFrameLocked(no storage.PageNo) *Frame {
+	f := &Frame{pool: pt.pool, pageNo: no, valid: true, Data: page.New()}
+	f.pins.Store(1)
+	pt.frames[no] = f
+	pt.clock = append(pt.clock, f)
+	return f
 }
 
-// evictLocked removes one unpinned frame chosen by the clock
-// (second-chance) algorithm, writing it to the OS cache first if dirty.
-// Writing at eviction time is always legal under the paper's model:
-// durability is decided only by sync, and the recovery algorithms tolerate
-// any page image that existed at any instant reaching the disk.
-func (p *Pool) evictLocked() error {
+// ensureRoomLocked makes room for one more frame, evicting an unpinned
+// frame chosen by the clock (second-chance) algorithm if the stripe is at
+// quota. Writing a dirty victim at eviction time is always legal under the
+// paper's model: durability is decided only by sync, and the recovery
+// algorithms tolerate any page image that existed at any instant reaching
+// the disk.
+//
+// The write itself happens with pt.mu RELEASED — a page write is the
+// slowest operation in the system, and holding the stripe lock across it
+// would stall every Get on the stripe for a full device round trip. The
+// victim is pinned (so it cannot be evicted twice) and write-latched out
+// of existence by nobody: mutators hold pins, and unpinned frames are
+// never latched by tree code. dropped reports that the lock was released;
+// the caller must restart, because the stripe (including its own target
+// page) may have changed arbitrarily in the window.
+func (pt *partition) ensureRoomLocked() (dropped bool, err error) {
+	if len(pt.frames) < pt.quota {
+		return false, nil
+	}
 	// Two sweeps: the first clears reference bits, the second takes the
 	// first unreferenced unpinned frame.
-	for sweep := 0; sweep < 2*len(p.clock); sweep++ {
-		if len(p.clock) == 0 {
+	for sweep := 0; sweep < 2*len(pt.clock); sweep++ {
+		if len(pt.clock) == 0 {
 			break
 		}
-		if p.hand >= len(p.clock) {
-			p.hand = 0
+		if pt.hand >= len(pt.clock) {
+			pt.hand = 0
 		}
-		f := p.clock[p.hand]
-		if f.pins > 0 || !f.valid || f.pageNo == detachedPageNo {
-			p.hand++
+		f := pt.clock[pt.hand]
+		if f.pins.Load() > 0 || !f.valid || f.pageNo == detachedPageNo {
+			pt.hand++
 			continue
 		}
-		if f.ref {
-			f.ref = false
-			p.hand++
+		if f.ref.Load() {
+			f.ref.Store(false)
+			pt.hand++
 			continue
 		}
-		if f.dirty {
-			if err := p.writeFrameLocked(f); err != nil {
-				return err
+		if f.dirty.Load() {
+			// Write back outside the lock, then let the caller restart:
+			// on the next pass the frame is clean (unless re-dirtied) and
+			// evicts without I/O.
+			f.pins.Add(1)
+			pt.mu.Unlock()
+			f.RLatch()
+			var werr error
+			if f.dirty.Load() {
+				werr = pt.pool.writeFrame(f)
 			}
+			f.RUnlatch()
+			pt.mu.Lock()
+			f.pins.Add(-1)
+			return true, werr
 		}
 		f.valid = false
-		delete(p.frames, f.pageNo)
-		p.clock = append(p.clock[:p.hand], p.clock[p.hand+1:]...)
-		return nil
+		delete(pt.frames, f.pageNo)
+		pt.clock = append(pt.clock[:pt.hand], pt.clock[pt.hand+1:]...)
+		return false, nil
 	}
-	return fmt.Errorf("buffer: all %d frames pinned", len(p.frames))
+	return false, fmt.Errorf("buffer: all %d frames pinned", len(pt.frames))
 }
 
 // Unpin releases one pin on f.
 func (f *Frame) Unpin() {
-	f.pool.mu.Lock()
-	defer f.pool.mu.Unlock()
-	if f.pins <= 0 {
+	if f.pins.Add(-1) < 0 {
 		panic("buffer: unpin of unpinned frame")
 	}
-	f.pins--
 }
 
 // Pin adds a pin to an already-held frame.
-func (f *Frame) Pin() {
-	f.pool.mu.Lock()
-	defer f.pool.mu.Unlock()
-	f.pins++
-}
+func (f *Frame) Pin() { f.pins.Add(1) }
 
 // PageNo returns the disk page this frame currently maps, or ^0 for a
 // detached frame.
-func (f *Frame) PageNo() storage.PageNo {
-	f.pool.mu.Lock()
-	defer f.pool.mu.Unlock()
-	return f.pageNo
-}
+func (f *Frame) PageNo() storage.PageNo { return f.pageNo }
 
 // MarkDirty records that the frame must be written before the next sync.
-func (f *Frame) MarkDirty() {
-	f.pool.mu.Lock()
-	defer f.pool.mu.Unlock()
-	f.dirty = true
-}
+// When other goroutines may access the pool concurrently the caller must
+// hold the frame's write latch, so flush cannot lose the update.
+func (f *Frame) MarkDirty() { f.dirty.Store(true) }
 
 // RLatch acquires the frame's shared latch.
 func (f *Frame) RLatch() { f.latch.RLock() }
@@ -401,10 +545,11 @@ func (f *Frame) WUnlatch() { f.latch.Unlock() }
 // PinCount reports the current pin count of page no (0 if unbuffered); the
 // freelist allocator consults it before recycling a page (§3.6).
 func (p *Pool) PinCount(no storage.PageNo) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[no]; ok {
-		return f.pins
+	pt := p.part(no)
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	if f, ok := pt.frames[no]; ok {
+		return int(f.pins.Load())
 	}
 	return 0
 }
@@ -413,79 +558,155 @@ func (p *Pool) PinCount(no storage.PageNo) int {
 // previously mapped there (step 5 of the reorganization split: the
 // reorganized page P_a replaces P at P's disk location). The frame is
 // marked dirty; the replaced frame is invalidated without being written.
+// f must be a detached frame, still private to its creator.
 func (p *Pool) Remap(f *Frame, no storage.PageNo) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if old, ok := p.frames[no]; ok && old != f {
+	if f.pageNo != detachedPageNo {
+		panic("buffer: Remap of a non-detached frame")
+	}
+	pt := p.part(no)
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if old, ok := pt.frames[no]; ok && old != f {
 		old.valid = false
-		for i, cf := range p.clock {
+		for i, cf := range pt.clock {
 			if cf == old {
-				p.clock = append(p.clock[:i], p.clock[i+1:]...)
+				pt.clock = append(pt.clock[:i], pt.clock[i+1:]...)
 				break
 			}
 		}
-		delete(p.frames, no)
-	}
-	if f.pageNo != detachedPageNo {
-		delete(p.frames, f.pageNo)
-	} else {
-		p.clock = append(p.clock, f)
+		delete(pt.frames, no)
 	}
 	f.pageNo = no
-	f.dirty = true
-	p.frames[no] = f
+	f.dirty.Store(true)
+	pt.frames[no] = f
+	pt.clock = append(pt.clock, f)
 }
 
 // Drop invalidates any frame for page no without writing it, used when a
 // page is freed.
 func (p *Pool) Drop(no storage.PageNo) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[no]; ok {
+	pt := p.part(no)
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if f, ok := pt.frames[no]; ok {
 		f.valid = false
-		f.dirty = false
-		for i, cf := range p.clock {
+		f.dirty.Store(false)
+		for i, cf := range pt.clock {
 			if cf == f {
-				p.clock = append(p.clock[:i], p.clock[i+1:]...)
+				pt.clock = append(pt.clock[:i], pt.clock[i+1:]...)
 				break
 			}
 		}
-		delete(p.frames, no)
+		delete(pt.frames, no)
 	}
 }
+
+// flushDirty writes every dirty frame to the OS cache without syncing.
+// Each frame is written under its shared latch, so a concurrent writer
+// (which mutates only under the frame's write latch) can never interleave
+// with the page image being copied out.
+//
+// Frames are pinned one at a time, only for the duration of their own
+// write: pinning the whole dirty set up front would leave concurrent Gets
+// with no evictable frames for the length of the flush — §3.4 blocked
+// syncs run while shared-mode operations continue, and on a slow device
+// the window is long enough to starve an entire stripe. A frame evicted
+// between the snapshot and its turn has already been written by the
+// evictor, so skipping it loses nothing.
+func (p *Pool) flushDirty() error {
+	type target struct {
+		pt *partition
+		no storage.PageNo
+	}
+	var targets []target
+	for _, pt := range p.parts {
+		pt.mu.Lock()
+		for no, f := range pt.frames {
+			if f.dirty.Load() {
+				targets = append(targets, target{pt, no})
+			}
+		}
+		pt.mu.Unlock()
+	}
+	// Deterministic issue order keeps tests reproducible; the storage
+	// layer still provides no durability ordering (and the crash layer
+	// reports pending pages sorted, not in write order).
+	sort.Slice(targets, func(i, j int) bool { return targets[i].no < targets[j].no })
+	if len(targets) == 0 {
+		return nil
+	}
+
+	// The §2 sync is unordered, so the writes of one flush may overlap
+	// each other: on a device with real per-page latency, issuing them
+	// from one goroutine would cost len(targets) sequential round trips —
+	// the dominant term of a blocked sync (§3.4), which shared-mode
+	// operations wait out behind the split lock.
+	nw := flushWorkers
+	if nw > len(targets) {
+		nw = len(targets)
+	}
+	var (
+		next     atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(targets) {
+					return
+				}
+				tg := targets[i]
+				tg.pt.mu.Lock()
+				f, ok := tg.pt.frames[tg.no]
+				if ok {
+					f.pins.Add(1)
+				}
+				tg.pt.mu.Unlock()
+				if !ok {
+					continue // evicted since the snapshot: the evictor wrote it
+				}
+				f.RLatch()
+				if f.dirty.Load() && !failed() {
+					if err := p.writeFrame(f); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+					}
+				}
+				f.RUnlatch()
+				f.Unpin()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// flushWorkers bounds the write concurrency of one flushDirty call. The
+// value trades device-queue depth against goroutine overhead; eight keeps
+// a latency-bound flush short without swamping a pure in-memory disk.
+const flushWorkers = 8
 
 // FlushDirty writes every dirty frame to the OS cache without syncing.
-func (p *Pool) FlushDirty() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.flushDirtyLocked()
-}
-
-func (p *Pool) flushDirtyLocked() error {
-	nos := make([]storage.PageNo, 0, len(p.frames))
-	for no, f := range p.frames {
-		if f.dirty {
-			nos = append(nos, no)
-		}
-	}
-	// Deterministic order keeps tests reproducible; the storage layer
-	// still provides no durability ordering.
-	sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
-	for _, no := range nos {
-		if err := p.writeFrameLocked(p.frames[no]); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+func (p *Pool) FlushDirty() error { return p.flushDirty() }
 
 // SyncAll writes every dirty frame and then syncs the disk: the "sync
 // operation" of §2. All modified pages become durable in an order chosen by
 // the (simulated) operating system, not by the DBMS.
 func (p *Pool) SyncAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.flushDirtyLocked(); err != nil {
+	if err := p.flushDirty(); err != nil {
 		return err
 	}
 	return p.disk.Sync()
@@ -495,22 +716,47 @@ func (p *Pool) SyncAll() error {
 // volatile state at a crash. Pinned frames panic: a simulated crash must
 // not race live operations.
 func (p *Pool) InvalidateAll() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for no, f := range p.frames {
-		if f.pins > 0 {
-			panic(fmt.Sprintf("buffer: InvalidateAll with page %d pinned", no))
+	for _, pt := range p.parts {
+		pt.mu.Lock()
+		for no, f := range pt.frames {
+			if f.pins.Load() > 0 {
+				pt.mu.Unlock()
+				panic(fmt.Sprintf("buffer: InvalidateAll with page %d pinned", no))
+			}
+			f.valid = false
+			f.dirty.Store(false)
 		}
-		f.valid = false
-		f.dirty = false
+		pt.frames = make(map[storage.PageNo]*Frame)
+		pt.clock = nil
+		pt.hand = 0
+		pt.mu.Unlock()
 	}
-	p.frames = make(map[storage.PageNo]*Frame)
-	p.clock = nil
 }
 
-// Stats returns hit/miss counters.
+// Stats returns hit/miss counters aggregated across all stripes.
 func (p *Pool) Stats() (hits, misses int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.hits, p.misses
+	for _, pt := range p.parts {
+		hits += pt.hits.Load()
+		misses += pt.misses.Load()
+	}
+	return hits, misses
+}
+
+// PartitionStats returns a per-stripe breakdown of residency and hit/miss
+// counters.
+func (p *Pool) PartitionStats() []PartitionStat {
+	out := make([]PartitionStat, len(p.parts))
+	for i, pt := range p.parts {
+		pt.mu.RLock()
+		n := len(pt.frames)
+		pt.mu.RUnlock()
+		out[i] = PartitionStat{
+			Partition: i,
+			Frames:    n,
+			Quota:     pt.quota,
+			Hits:      pt.hits.Load(),
+			Misses:    pt.misses.Load(),
+		}
+	}
+	return out
 }

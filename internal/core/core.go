@@ -98,6 +98,36 @@ func (db *DB) IOStats() buffer.IOStats {
 	return total
 }
 
+// CacheStats is the DB-wide buffer-cache view: aggregate hit/miss counts
+// plus the per-partition breakdown of every pool, keyed by file name.
+type CacheStats struct {
+	Hits       int64                             `json:"hits"`
+	Misses     int64                             `json:"misses"`
+	Partitions map[string][]buffer.PartitionStat `json:"partitions,omitempty"`
+}
+
+// CacheStats aggregates the lock-striped buffer-pool counters of every
+// pool the DB has opened (relations and indexes). The underlying counters
+// are atomics, so this never contends with in-flight page access.
+func (db *DB) CacheStats() CacheStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := CacheStats{Partitions: make(map[string][]buffer.PartitionStat)}
+	add := func(name string, p *buffer.Pool) {
+		h, m := p.Stats()
+		out.Hits += h
+		out.Misses += m
+		out.Partitions[name] = p.PartitionStats()
+	}
+	for name, ix := range db.indexes {
+		add("idx_"+name, ix.t.Pool())
+	}
+	for name, r := range db.rels {
+		add("rel_"+name, r.h.Pool())
+	}
+	return out
+}
+
 // Storage decides where the DB's files live.
 type Storage interface {
 	open(name string) (storage.Disk, error)

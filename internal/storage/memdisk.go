@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/page"
@@ -23,18 +24,20 @@ type MemDisk struct {
 	writes  int               // number of page writes accepted
 	closed  bool
 
-	readLat  time.Duration // simulated device latency per page read
-	writeLat time.Duration // simulated device latency per page write
+	readLat  atomic.Int64 // simulated device latency per page read, ns
+	writeLat atomic.Int64 // simulated device latency per page write, ns
 }
 
 // SetLatency configures simulated per-page device latencies, letting
 // experiments reproduce the disk-bound cost balance of the paper's 1992
 // hardware (where check overhead hid behind I/O and page processing) as
 // well as the pure-CPU in-memory regime. Zero disables the simulation.
+// The latency is served outside the disk mutex, modeling a device with
+// internal parallelism: concurrent requests overlap their waits instead
+// of queueing behind one another.
 func (d *MemDisk) SetLatency(read, write time.Duration) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.readLat, d.writeLat = read, write
+	d.readLat.Store(int64(read))
+	d.writeLat.Store(int64(write))
 }
 
 // NewMemDisk returns an empty in-memory disk.
@@ -51,6 +54,9 @@ func (d *MemDisk) ReadPage(no PageNo, buf page.Page) error {
 	if err := checkPageBuf(buf); err != nil {
 		return err
 	}
+	if lat := d.readLat.Load(); lat > 0 {
+		time.Sleep(time.Duration(lat))
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -58,9 +64,6 @@ func (d *MemDisk) ReadPage(no PageNo, buf page.Page) error {
 	}
 	if no >= d.nPages {
 		return fmt.Errorf("%w: page %d of %d", ErrOutOfRange, no, d.nPages)
-	}
-	if d.readLat > 0 {
-		time.Sleep(d.readLat)
 	}
 	if data, ok := d.pending[no]; ok {
 		copy(buf, data)
@@ -81,13 +84,13 @@ func (d *MemDisk) WritePage(no PageNo, data page.Page) error {
 	if err := checkPageBuf(data); err != nil {
 		return err
 	}
+	if lat := d.writeLat.Load(); lat > 0 {
+		time.Sleep(time.Duration(lat))
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed
-	}
-	if d.writeLat > 0 {
-		time.Sleep(d.writeLat)
 	}
 	img := make(page.Page, page.Size)
 	copy(img, data)
