@@ -1,12 +1,12 @@
 # Single entry point for the repo's checks. `make check` is the whole CI:
-# vet + build + tier-1 tests + the race-enabled concurrency tests + a
-# one-iteration smoke of the parallel benchmarks.
+# vet + build + tier-1 tests + the race-enabled suite + the repair-case
+# coverage gate + a one-iteration smoke of the parallel benchmarks.
 
 GO ?= go
 
-.PHONY: check vet build test test-short race bench bench-smoke bench-parallel
+.PHONY: check vet build test test-short race repair-coverage bench bench-smoke bench-parallel
 
-check: vet build test race bench-smoke
+check: vet build test race repair-coverage bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,16 +22,24 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# The concurrent-access tests under the race detector: the §3.6 shared-mode
-# tree paths and the striped buffer pool's stat/flush surfaces.
+# The whole repo under the race detector (-short skips the slow crash
+# enumerations; the §3.6 shared-mode paths and the observability recorder
+# are what the detector is for).
 race:
-	$(GO) test -race ./internal/btree -run 'Concurrent'
-	$(GO) test -race ./internal/buffer -run 'Concurrent|Stats'
+	$(GO) test -race -short ./...
 
-# One iteration of each parallel benchmark: proves the concurrency plumbing
-# still works end to end without measuring anything.
+# The coverage gate: counters must prove the §3.3 prevPtr re-copy and every
+# §3.4 case (a)-(e) actually fired, or the build fails naming the missing
+# cases.
+repair-coverage:
+	$(GO) test ./internal/btree -run TestRepairCaseCoverage
+
+# One iteration of each parallel benchmark (proves the concurrency plumbing
+# works end to end), plus the disabled-recorder overhead bound: obs calls
+# on a nil recorder must stay within a few ns.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallel' -benchtime 1x .
+	$(GO) test ./internal/obs -run TestDisabledOverhead
 
 # The full benchmark suite (paper experiments + parallel scaling).
 bench:

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/btree"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -43,7 +45,13 @@ var (
 	ops     = flag.Int("ops", 4000, "operations per measurement cell with -procs")
 	verbose = flag.Bool("v", false, "print buffer-pool hit/miss, partition, and fault-handling stats")
 	jsonOut = flag.Bool("json", false, "emit the -procs scaling results as JSON (for BENCH_concurrency.json)")
+	obsOn   = flag.Bool("obs", false, "attach the recovery-event recorder to every tree (with -v: print its counters)")
+	obsHTTP = flag.String("obs-http", "", "serve the recorder as expvar metrics on this address (implies -obs), e.g. :8080")
 )
+
+// benchRec is the shared recorder; nil unless -obs (or -obs-http) is given,
+// so the default benchmark pays only the recorder's nil-check fast path.
+var benchRec *obs.Recorder
 
 func main() {
 	flag.Parse()
@@ -70,6 +78,21 @@ func main() {
 	if *jsonOut && *procs == "" {
 		fmt.Fprintln(os.Stderr, "-json requires -procs")
 		os.Exit(2)
+	}
+	if *obsHTTP != "" {
+		*obsOn = true
+	}
+	if *obsOn {
+		benchRec = obs.New(obs.DefaultRingCap)
+	}
+	if *obsHTTP != "" {
+		benchRec.Publish("fastrec")
+		go func() {
+			if err := http.ListenAndServe(*obsHTTP, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "obs-http: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "obs: serving expvar metrics at http://%s/debug/vars\n", *obsHTTP)
 	}
 
 	variants := []btree.Variant{btree.Normal, btree.Reorg, btree.Shadow}
@@ -130,6 +153,9 @@ func main() {
 		fmt.Printf("\n%d Lookups (uniform random)\n", *lookups)
 		printRows(variants, ns, lookupT)
 	}
+	if *verbose && benchRec != nil {
+		printObsSnapshot(os.Stderr)
+	}
 }
 
 // runCell builds one index of n ascending 4-byte keys and runs the random
@@ -139,7 +165,7 @@ func runCell(v btree.Variant, n, nLookups int, seed int64) (insert, lookup time.
 	if *ioLat > 0 {
 		disk.SetLatency(*ioLat, *ioLat)
 	}
-	tr, err := btree.Open(disk, v, btree.Options{PoolSize: *pool})
+	tr, err := btree.Open(disk, v, btree.Options{PoolSize: *pool, Obs: benchRec})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -280,7 +306,7 @@ func runScaling(variants []btree.Variant, gs []int) {
 	report := scalingReport{Keys: nKeys, PoolFrames: poolSize, IOLatUS: lat.Microseconds(), Ops: *ops}
 	for _, v := range variants {
 		disk := storage.NewMemDisk()
-		tr, err := btree.Open(disk, v, btree.Options{PoolSize: poolSize})
+		tr, err := btree.Open(disk, v, btree.Options{PoolSize: poolSize, Obs: benchRec})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -325,6 +351,9 @@ func runScaling(variants []btree.Variant, gs []int) {
 			printPoolStats(os.Stderr, label(v), tr)
 		}
 		disk.SetLatency(0, 0)
+	}
+	if *verbose && benchRec != nil {
+		printObsSnapshot(os.Stderr)
 	}
 
 	if *jsonOut {
@@ -397,6 +426,37 @@ func printPoolStats(w io.Writer, name string, tr *btree.Tree) {
 	}
 	fmt.Fprintf(w, "  io: %d retries, %d checksum failures, %d torn pages repaired\n",
 		io_.Retries, io_.ChecksumFailures, io_.TornPagesRepaired)
+}
+
+// printObsSnapshot renders the shared recorder's nonzero counters and
+// timers (-obs -v).
+func printObsSnapshot(w io.Writer) {
+	snap := benchRec.Snapshot()
+	fmt.Fprintln(w, "obs counters:")
+	if len(snap.Counters) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	}
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-20s %d\n", name, snap.Counters[name])
+	}
+	tnames := make([]string, 0, len(snap.Timers))
+	for name := range snap.Timers {
+		tnames = append(tnames, name)
+	}
+	sort.Strings(tnames)
+	for _, name := range tnames {
+		ts := snap.Timers[name]
+		if ts.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-20s %d samples, mean %.1fµs\n",
+			name, ts.Count, float64(ts.TotalNs)/float64(ts.Count)/1e3)
+	}
 }
 
 func splitComma(s string) []string {

@@ -14,15 +14,27 @@
 //
 //	fastrec-dump scrub -file idx.pg
 //	fastrec-dump scrub -file idx.pg -variant shadow -repair
+//
+// The trace subcommand replays recovery with the observability recorder
+// attached and pretty-prints the resulting event timeline — every injected
+// fault classification, prevPtr re-copy, and §3.4 case diagnosis in the
+// order it fired — plus the nonzero repair counters. With -json it emits
+// the raw obs snapshot instead:
+//
+//	fastrec-dump trace -file idx.pg -variant reorg
+//	fastrec-dump trace -file idx.pg -variant reorg -json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"repro/internal/btree"
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/storage"
 	"repro/internal/vacuum"
@@ -40,9 +52,28 @@ var (
 	doMerge     = flag.Bool("merge", false, "merge underfull pages (implies syncs)")
 )
 
+// parseVariant maps a -variant flag value to its btree.Variant.
+func parseVariant(name string) (btree.Variant, bool) {
+	switch name {
+	case "normal":
+		return btree.Normal, true
+	case "shadow":
+		return btree.Shadow, true
+	case "reorg":
+		return btree.Reorg, true
+	case "hybrid":
+		return btree.Hybrid, true
+	}
+	return 0, false
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "scrub" {
 		runScrub(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
 		return
 	}
 	flag.Parse()
@@ -50,17 +81,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: fastrec-dump -file <index.pg> [-variant v] [-dump|-check|-stats|-recover|-vacuum|-merge]")
 		os.Exit(2)
 	}
-	var variant btree.Variant
-	switch *variantName {
-	case "normal":
-		variant = btree.Normal
-	case "shadow":
-		variant = btree.Shadow
-	case "reorg":
-		variant = btree.Reorg
-	case "hybrid":
-		variant = btree.Hybrid
-	default:
+	variant, ok := parseVariant(*variantName)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variantName)
 		os.Exit(2)
 	}
@@ -212,17 +234,8 @@ func runScrub(args []string) {
 		}
 	}
 
-	var variant btree.Variant
-	switch *sVariant {
-	case "normal":
-		variant = btree.Normal
-	case "shadow":
-		variant = btree.Shadow
-	case "reorg":
-		variant = btree.Reorg
-	case "hybrid":
-		variant = btree.Hybrid
-	default:
+	variant, ok := parseVariant(*sVariant)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *sVariant)
 		os.Exit(2)
 	}
@@ -287,4 +300,91 @@ func repairFile(path string, variant btree.Variant, bad []storage.PageNo) (buffe
 		return st, fmt.Errorf("close: %w", err)
 	}
 	return st, disk.Close()
+}
+
+// traceFile reopens the index with a recorder attached and replays the
+// full recovery pass, returning the recorder. Repairs stay buffered in the
+// pool — nothing is synced, so the durable image is left as found.
+func traceFile(path string, variant btree.Variant) (*obs.Recorder, error) {
+	// OpenFileDisk creates missing files; tracing a typo'd path must
+	// report the mistake, not trace an empty index.
+	if _, err := os.Stat(path); err != nil {
+		return nil, err
+	}
+	disk, err := storage.OpenFileDisk(path)
+	if err != nil {
+		return nil, err
+	}
+	defer disk.Close()
+	rec := obs.New(obs.DefaultRingCap)
+	tr, err := btree.Open(disk, variant, btree.Options{Obs: rec})
+	if err != nil {
+		return nil, fmt.Errorf("open: %w", err)
+	}
+	if err := tr.RecoverAll(); err != nil {
+		return nil, fmt.Errorf("recover: %w", err)
+	}
+	if err := tr.Check(btree.CheckStrict); err != nil {
+		return nil, fmt.Errorf("check after recovery: %w", err)
+	}
+	return rec, nil
+}
+
+// writeTimeline pretty-prints the recorder's event ring as a recovery
+// timeline, followed by the nonzero counters in name order.
+func writeTimeline(w io.Writer, rec *obs.Recorder, variant btree.Variant) {
+	snap := rec.Snapshot()
+	fmt.Fprintf(w, "recovery timeline (variant %v): %d events", variant, len(snap.Events))
+	if snap.Dropped > 0 {
+		fmt.Fprintf(w, " (%d dropped)", snap.Dropped)
+	}
+	fmt.Fprintln(w)
+	for _, e := range snap.Events {
+		fmt.Fprintf(w, "%6d  %-16s page %-6d %s\n", e.Seq, e.Kind, e.Page, e.Detail)
+	}
+	if len(snap.Counters) == 0 {
+		fmt.Fprintln(w, "counters: none (clean recovery)")
+		return
+	}
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "counters:")
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-20s %d\n", name, snap.Counters[name])
+	}
+}
+
+// runTrace implements the trace subcommand: replay recovery under the
+// recorder and print the timeline (or the raw JSON snapshot).
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	tFile := fs.String("file", "", "index page file (required)")
+	tVariant := fs.String("variant", "shadow", "index variant: normal, shadow, reorg, hybrid")
+	tJSON := fs.Bool("json", false, "emit the raw obs snapshot as JSON")
+	_ = fs.Parse(args)
+	if *tFile == "" {
+		fmt.Fprintln(os.Stderr, "usage: fastrec-dump trace -file <index.pg> [-variant v] [-json]")
+		os.Exit(2)
+	}
+	variant, ok := parseVariant(*tVariant)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *tVariant)
+		os.Exit(2)
+	}
+	rec, err := traceFile(*tFile, variant)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	if *tJSON {
+		if err := rec.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	writeTimeline(os.Stdout, rec, variant)
 }

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/storage"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildCrashedIndex deterministically constructs a crashed reorg index at
+// path: 600 committed keys, 50 uncommitted trigger keys, then a crash that
+// keeps exactly the first half of the pending writes. Every step is
+// seed-free and single-threaded, so the recovery event sequence is stable.
+func buildCrashedIndex(t *testing.T, path string) {
+	t.Helper()
+	inner, err := storage.OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := storage.NewFaultDisk(inner, storage.FaultConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := btree.Open(d, btree.Reorg, btree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+	for i := 0; i < 600; i++ {
+		if err := tr.Insert(key(i), []byte(fmt.Sprintf("val-%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 600; i < 650; i++ {
+		if err := tr.Insert(key(i), []byte(fmt.Sprintf("val-%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Pool().FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	err = d.CrashPartial(func(pending []storage.PageNo) []storage.PageNo {
+		return pending[:len(pending)/2]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceGolden pins the pretty-printed recovery timeline of a
+// deterministic seeded crash against a golden file (refresh with
+// go test ./cmd/fastrec-dump -run TestTraceGolden -update).
+func TestTraceGolden(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.pg")
+	buildCrashedIndex(t, path)
+
+	rec, err := traceFile(path, btree.Reorg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	writeTimeline(&buf, rec, btree.Reorg)
+	if len(rec.Events()) == 0 {
+		t.Fatal("crash scenario produced no recovery events — golden is vacuous")
+	}
+
+	golden := filepath.Join("testdata", "trace.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("timeline differs from golden file\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// The trace replay must not disturb the durable image: a second run
+	// sees the identical crash state and produces the identical timeline.
+	rec2, err := traceFile(path, btree.Reorg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	writeTimeline(&buf2, rec2, btree.Reorg)
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Errorf("trace is not idempotent\n--- first ---\n%s\n--- second ---\n%s", buf.Bytes(), buf2.Bytes())
+	}
+}
+
+// TestTraceJSON checks the -json form is a well-formed snapshot.
+func TestTraceJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.pg")
+	buildCrashedIndex(t, path)
+	rec, err := traceFile(path, btree.Reorg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+		Events   []json.RawMessage `json:"events"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(snap.Events) == 0 {
+		t.Fatal("JSON snapshot carries no events")
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -309,6 +310,7 @@ func (t *Tree) lookupShared(key []byte, v uint64) ([]byte, error) {
 			nf.Unpin()
 			return nil, errRetryShared
 		}
+		t.obs.Count(obs.ChaseHop)
 		curNo, f = rp, nf
 	}
 }
@@ -366,6 +368,7 @@ func (t *Tree) insertShared(key, value []byte, v uint64) error {
 		f.MarkDirty()
 		if t.protected() {
 			t.Stats.BackupReclaims.Add(1)
+			t.obs.Count(obs.BackupReclaim)
 		}
 	}
 	item := encodeLeafItem(key, value)
@@ -500,6 +503,7 @@ func (t *Tree) insertSplitShared(key, value []byte) error {
 	if t.protected() && lf.Data.PrevNKeys() != 0 && lf.Data.SyncToken() == t.counter.Current() {
 		lf.WUnlatch()
 		t.Stats.BlockedSyncs.Add(1)
+		t.obs.Eventf(obs.BlockedSync, leaf.no, "reclaim case 1: backups not yet durable; forcing sync")
 		if err := t.syncLocked(); err != nil {
 			return err
 		}
@@ -510,6 +514,7 @@ func (t *Tree) insertSplitShared(key, value []byte) error {
 		lf.MarkDirty()
 		if t.protected() {
 			t.Stats.BackupReclaims.Add(1)
+			t.obs.Count(obs.BackupReclaim)
 		}
 	}
 	item := encodeLeafItem(key, value)
@@ -609,6 +614,7 @@ func (t *Tree) scanShared(start, end []byte, fn func(key, value []byte) bool) ([
 	retries := 0
 	retry := func() error {
 		retries++
+		t.obs.Count(obs.LatchRetry)
 		if retries > maxSharedRetries {
 			return errNeedsExclusive
 		}
@@ -712,6 +718,7 @@ func (t *Tree) scanShared(start, end []byte, fn func(key, value []byte) bool) ([
 				redescend = true
 				break
 			}
+			t.obs.Count(obs.ChaseHop)
 			frame, curNo = next, rp
 		}
 	}

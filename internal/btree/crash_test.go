@@ -252,17 +252,25 @@ func TestFirstRootCrash(t *testing.T) {
 // pb (its newPage), and the parent.
 func reorgSplitPages(t *testing.T, d storage.Disk) (pa, pb uint32) {
 	t.Helper()
+	// Older splits leave backups behind too (they are reclaimed lazily, and
+	// ascending inserts never revisit the low half); the trigger's P_a is
+	// the one stamped in the current epoch — the highest sync token.
 	buf := page.New()
+	var bestTok uint64
 	for no := storage.PageNo(1); no < d.NumPages(); no++ {
 		if err := d.ReadPage(no, buf); err != nil {
 			continue
 		}
-		if buf.Valid() && buf.Type() == page.TypeLeaf && buf.PrevNKeys() != 0 {
-			return no, buf.NewPage()
+		if buf.Valid() && buf.Type() == page.TypeLeaf && buf.PrevNKeys() != 0 &&
+			buf.SyncToken() > bestTok {
+			bestTok = buf.SyncToken()
+			pa, pb = no, buf.NewPage()
 		}
 	}
-	t.Fatal("no reorganized leaf found")
-	return 0, 0
+	if pa == 0 {
+		t.Fatal("no reorganized leaf found")
+	}
+	return pa, pb
 }
 
 // TestReorgFiveCases pins each named failure case of §3.4 to an exact

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -31,6 +32,7 @@ func (t *Tree) Insert(key, value []byte) error {
 		}
 		t.mu.RUnlock()
 		if errors.Is(err, errRetryShared) {
+			t.obs.Count(obs.LatchRetry)
 			retryBackoff(attempt)
 			continue
 		}
@@ -41,6 +43,7 @@ func (t *Tree) Insert(key, value []byte) error {
 	}
 	// Fall back to the exclusive path: repairs, empty-tree creation, and
 	// blocked syncs all live here.
+	t.obs.Count(obs.ExclusiveFallback)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.insertLocked(key, value)
@@ -174,6 +177,7 @@ func (t *Tree) ensureSafeForUpdate(path []pathEntry, depth int) error {
 	}
 	if f.Data.SyncToken() == t.counter.Current() {
 		t.Stats.BlockedSyncs.Add(1)
+		t.obs.Eventf(obs.BlockedSync, path[depth].no, "reclaim case 1: backups not yet durable; forcing sync")
 		if err := t.syncLocked(); err != nil {
 			return err
 		}
@@ -183,6 +187,7 @@ func (t *Tree) ensureSafeForUpdate(path []pathEntry, depth int) error {
 	f.MarkDirty()
 	f.WUnlatch()
 	t.Stats.BackupReclaims.Add(1)
+	t.obs.Count(obs.BackupReclaim)
 	return nil
 }
 
@@ -232,11 +237,10 @@ func (t *Tree) splitPage(path []pathEntry, depth int, hintKey []byte) (promo, er
 		if err := t.growRoot(pr); err != nil {
 			return promo{}, err
 		}
-		return pr, nil
-	}
-	if err := t.insertPromo(path, depth-1, pr); err != nil {
+	} else if err := t.insertPromo(path, depth-1, pr); err != nil {
 		return promo{}, err
 	}
+	t.obs.Eventf(obs.SplitCommit, node.no, "halves %d/%d linked into parent", pr.lowNo, pr.highNo)
 	return pr, nil
 }
 
@@ -357,6 +361,7 @@ func (t *Tree) growRoot(pr promo) error {
 	metaFrame.MarkDirty()
 	metaFrame.WUnlatch()
 	t.Stats.RootSplits.Add(1)
+	t.obs.Eventf(obs.RootSplit, no, "new root above halves %d/%d", pr.lowNo, pr.highNo)
 	return nil
 }
 

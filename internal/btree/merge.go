@@ -2,6 +2,7 @@ package btree
 
 import (
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -253,6 +254,7 @@ func (t *Tree) mergeWithinParent(parent *pathEntry, st *MergeStats) (bool, error
 func (t *Tree) mergePair(parent *pathEntry, i int, aIt, bIt internalItem, aF, bF *buffer.Frame, st *MergeStats) error {
 	pp := parent.frame.Data
 	level := aF.Data.Level()
+	t.obs.Eventf(obs.MergeStart, aIt.child, "level %d: merging %d + %d onto a fresh page", level, aIt.child, bIt.child)
 
 	aLo, _, err := childRange(pp, i, parent.lo, parent.hi)
 	if err != nil {
@@ -320,6 +322,7 @@ func (t *Tree) mergePair(parent *pathEntry, i int, aIt, bIt internalItem, aF, bF
 	t.freeAfterSync(aIt.child, aLo, bHi)
 	t.freeAfterSync(bIt.child, aLo, bHi)
 	st.Merged++
+	t.obs.Eventf(obs.MergeCommit, mNo, "parent updated atomically; %d and %d retired", aIt.child, bIt.child)
 	return nil
 }
 

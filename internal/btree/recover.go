@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -36,15 +37,18 @@ func (t *Tree) repairRoot(metaFrame, rootFrame *buffer.Frame) error {
 	if rp.Valid() && (rp.Type() == page.TypeLeaf || rp.Type() == page.TypeInternal) &&
 		rp.SyncToken() > m.rootToken() {
 		if rp.PrevNKeys() != 0 {
+			caseMetric := t.reorgCaseAB(rp)
 			if err := t.mergeBackupsInto(rootFrame); err != nil {
 				return err
 			}
+			t.obs.Eventf(caseMetric, uint32(rootFrame.PageNo()), "root backups folded back in place")
 		}
 		rp.SetSyncToken(global)
 		rp.SetNewPage(0)
 		rootFrame.MarkDirty()
 		m.setRootToken(global)
 		metaFrame.MarkDirty()
+		t.obs.Eventf(obs.RepairRoot, uint32(rootFrame.PageNo()), "interrupted root replacement folded in place")
 		return nil
 	}
 	if prev := m.prevRoot(); prev != 0 {
@@ -63,19 +67,43 @@ func (t *Tree) repairRoot(metaFrame, rootFrame *buffer.Frame) error {
 		// state is the merge of live and backup keys (§3.4 cases
 		// (a)/(b) seen from the top of the tree).
 		if rootFrame.Data.PrevNKeys() != 0 {
+			caseMetric := t.reorgCaseAB(rootFrame.Data)
 			if err := t.mergeBackupsInto(rootFrame); err != nil {
 				return err
 			}
+			t.obs.Eventf(caseMetric, uint32(rootFrame.PageNo()), "restored root backups folded back")
 		}
 		rootFrame.Data.SetSyncToken(global)
 		rootFrame.Data.SetNewPage(0)
+		t.obs.Eventf(obs.RepairRoot, uint32(rootFrame.PageNo()), "copied from prevRoot %d", prev)
 	} else {
 		t.initTreePage(rootFrame, 0)
+		t.obs.Eventf(obs.RepairRoot, uint32(rootFrame.PageNo()), "initialized empty root")
 	}
 	rootFrame.MarkDirty()
 	m.setRootToken(global)
 	metaFrame.MarkDirty()
 	return nil
+}
+
+// reorgCaseAB distinguishes §3.4 case (a) from case (b) for a page whose
+// backup keys are being folded back in. In both cases the parent's update
+// missed the disk and the pre-split state is restored from the backups; in
+// (b) the new sibling P_b also became durable (and is simply abandoned),
+// while in (a) only P_a reached the disk. The sibling named by the page's
+// newPage pointer decides: a valid page of the same type there means (b).
+func (t *Tree) reorgCaseAB(p page.Page) obs.Metric {
+	sibNo := p.NewPage()
+	if sibNo != 0 {
+		if sf, err := t.pool.Get(sibNo); err == nil {
+			isB := sf.Data.Valid() && sf.Data.Type() == p.Type()
+			sf.Unpin()
+			if isB {
+				return obs.RepairReorgB
+			}
+		}
+	}
+	return obs.RepairReorgA
 }
 
 // mergeBackupsInto folds a page's backup keys back into its live set —
@@ -172,6 +200,7 @@ func (t *Tree) repairShadowChild(parent *pathEntry, idx int, it internalItem, ch
 	childFrame.Data.SetRightPeer(prevFrame.Data.RightPeer())
 	t.markRepairedLeaf(childFrame)
 	childFrame.MarkDirty()
+	t.obs.Eventf(obs.RepairShadow, it.child, "re-copied from prevPtr page %d", it.prev)
 	return nil
 }
 
@@ -339,6 +368,13 @@ func (t *Tree) repairStaleReorgPage(parent *pathEntry, idx int, childFrame *buff
 	t.markRepairedLeaf(childFrame)
 	childFrame.Data.SetSyncToken(global)
 	childFrame.MarkDirty()
+	if rebuiltSibling {
+		t.obs.Eventf(obs.RepairReorgE, parent.noOfChild(idx),
+			"split repeated from surviving pre-split image; missing siblings rebuilt")
+	} else {
+		t.obs.Eventf(obs.RepairReorgD, parent.noOfChild(idx),
+			"surviving pre-split image trimmed to its prescribed range")
+	}
 	return nil
 }
 
@@ -459,6 +495,7 @@ func (t *Tree) repairLostReorgChild(parent *pathEntry, idx int, childFrame *buff
 	}
 
 	if exact != nil {
+		t.obs.Eventf(obs.RepairReorgC, childNo, "regenerated from split partner %d's backups", exact.child)
 		return regenerateFrom(exact.child)
 	}
 	if stale != nil {
@@ -497,6 +534,7 @@ func (t *Tree) repairLostReorgChild(parent *pathEntry, idx int, childFrame *buff
 				best = c
 			}
 		}
+		t.obs.Eventf(obs.RepairReorgC, childNo, "regenerated from chained sibling %d's backups", best.child)
 		return regenerateFrom(best.child)
 	}
 
@@ -508,6 +546,7 @@ func (t *Tree) repairLostReorgChild(parent *pathEntry, idx int, childFrame *buff
 		if srcNo, ok, err := t.probeAdjacentSource(parent, idx, childNo, cLo, cHi); err != nil {
 			return err
 		} else if ok {
+			t.obs.Eventf(obs.RepairReorgC, childNo, "regenerated from adjacent-parent source %d", srcNo)
 			return regenerateFrom(srcNo)
 		}
 	}
@@ -526,6 +565,7 @@ func (t *Tree) repairLostReorgChild(parent *pathEntry, idx int, childFrame *buff
 	}
 	pp.AddFlag(page.FlagLineClean)
 	parent.frame.MarkDirty()
+	t.obs.Eventf(obs.RepairEntryDrop, childNo, "no durable source; parent %d's entry removed", parent.no)
 	return errEntryDropped
 }
 
@@ -615,6 +655,7 @@ func (t *Tree) resolveBackups(parent *pathEntry, idx int, childFrame *buffer.Fra
 		reclaimBackups(p)
 		childFrame.MarkDirty()
 		t.Stats.BackupReclaims.Add(1)
+		t.obs.Count(obs.BackupReclaim)
 		return nil
 	}
 	// If every backup key falls inside the page's own prescribed range,
@@ -633,10 +674,12 @@ func (t *Tree) resolveBackups(parent *pathEntry, idx int, childFrame *buffer.Fra
 		}
 	}
 	if allInOwnRange {
+		caseMetric := t.reorgCaseAB(p)
 		if err := t.mergeBackupsInto(childFrame); err != nil {
 			return err
 		}
 		t.Stats.RepairsInterPage.Add(1)
+		t.obs.Eventf(caseMetric, uint32(childFrame.PageNo()), "parent not updated; backups folded back")
 		return nil
 	}
 
@@ -648,6 +691,7 @@ func (t *Tree) resolveBackups(parent *pathEntry, idx int, childFrame *buffer.Fra
 		// updates to this page block for a sync (reclaim case 1).
 		p.SetSyncToken(t.counter.Current())
 		childFrame.MarkDirty()
+		t.obs.Count(obs.BackupHold)
 		return nil
 	}
 	sf, err := t.pool.Get(sibNo)
@@ -664,9 +708,11 @@ func (t *Tree) resolveBackups(parent *pathEntry, idx int, childFrame *buffer.Fra
 			reclaimBackups(p)
 			childFrame.MarkDirty()
 			t.Stats.BackupReclaims.Add(1)
+			t.obs.Count(obs.BackupReclaim)
 		} else {
 			p.SetSyncToken(t.counter.Current())
 			childFrame.MarkDirty()
+			t.obs.Count(obs.BackupHold)
 		}
 		return nil
 	}
@@ -707,6 +753,7 @@ func (t *Tree) resolveBackups(parent *pathEntry, idx int, childFrame *buffer.Fra
 	t.markRepairedLeaf(sf)
 	sf.MarkDirty()
 	t.Stats.RepairsInterPage.Add(1)
+	t.obs.Eventf(obs.RepairReorgC, sibNo, "sibling regenerated from backups of page %d", uint32(childFrame.PageNo()))
 	// The backups remain the only durable copy until a sync commits the
 	// regenerated sibling: stamp the current token so updates block for
 	// that sync first (reclaim case 1).

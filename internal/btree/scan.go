@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -32,6 +33,7 @@ func (t *Tree) Scan(start, end []byte, fn func(key, value []byte) bool) error {
 	}
 	// Fall back to the exclusive (repairing) path, resuming at the cursor
 	// the shared scan reached so no pair is emitted twice.
+	t.obs.Count(obs.ExclusiveFallback)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.scanLocked(resume, end, true, fn)
@@ -92,6 +94,7 @@ func (t *Tree) scanLocked(start, end []byte, repair bool, fn func(key, value []b
 			if !ok {
 				break // outer loop re-descends at cur
 			}
+			t.obs.Count(obs.ChaseHop)
 			frame = next
 			done, last, err := emitLeaf(frame.Data, cur, end, fn)
 			if err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -84,12 +85,14 @@ func (t *Tree) getRoot(repair bool) (metaFrame *buffer.Frame, rootFrame *buffer.
 			metaFrame.Unpin()
 			return nil, nil, 0, errNeedsRepair
 		}
+		caseMetric := t.reorgCaseAB(rootFrame.Data)
 		if err := t.mergeBackupsInto(rootFrame); err != nil {
 			rootFrame.Unpin()
 			metaFrame.Unpin()
 			return nil, nil, 0, err
 		}
 		t.Stats.RepairsInterPage.Add(1)
+		t.obs.Eventf(caseMetric, rootNo, "uncommitted root split; backups folded back")
 		metaPage{metaFrame.Data}.setRootToken(rootFrame.Data.SyncToken())
 		metaFrame.MarkDirty()
 	}
@@ -119,6 +122,7 @@ func (t *Tree) fixIntraPage(f *buffer.Frame, repair bool) error {
 	}
 	n := f.Data.RepairDuplicates()
 	t.Stats.RepairsIntraPage.Add(uint64(n))
+	t.obs.Eventf(obs.RepairIntraPage, uint32(f.PageNo()), "%d duplicate line-table entries removed", n)
 	f.Data.AddFlag(page.FlagLineClean)
 	f.MarkDirty()
 	return nil
@@ -311,6 +315,7 @@ func (t *Tree) Lookup(key []byte) ([]byte, error) {
 		}
 		t.mu.RUnlock()
 		if errors.Is(err, errRetryShared) {
+			t.obs.Count(obs.LatchRetry)
 			retryBackoff(attempt)
 			continue
 		}
@@ -320,6 +325,7 @@ func (t *Tree) Lookup(key []byte) ([]byte, error) {
 		return val, err
 	}
 	// Fall back to the exclusive path, which may repair.
+	t.obs.Count(obs.ExclusiveFallback)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.lookupLocked(key, true)

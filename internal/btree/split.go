@@ -4,6 +4,7 @@ import (
 	"bytes"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -20,6 +21,7 @@ func (t *Tree) splitShadow(node *pathEntry, lowItems, highItems [][]byte, sep []
 	level := p.Level()
 	oldTok := p.SyncToken()
 	leftPeer, rightPeer := p.LeftPeer(), p.RightPeer()
+	t.obs.Eventf(obs.SplitStart, node.no, "shadow (§3.3): level %d, both halves on fresh pages", level)
 
 	lowNo, lowF, err := t.allocPage(node.lo, sep)
 	if err != nil {
@@ -83,6 +85,7 @@ func (t *Tree) splitNormal(node *pathEntry, lowItems, highItems [][]byte, sep []
 	p := node.frame.Data
 	level := p.Level()
 	leftPeer, rightPeer := p.LeftPeer(), p.RightPeer()
+	t.obs.Eventf(obs.SplitStart, node.no, "normal: level %d, in-place low half", level)
 
 	highNo, highF, err := t.allocPage(sep, node.hi)
 	if err != nil {
@@ -122,6 +125,7 @@ func (t *Tree) splitReorg(node *pathEntry, lowItems, highItems [][]byte, sep []b
 	level := p.Level()
 	oldTok := p.SyncToken()
 	leftPeer, rightPeer := p.LeftPeer(), p.RightPeer()
+	t.obs.Eventf(obs.SplitStart, node.no, "reorg (§3.4): level %d, P_a remapped over P with backups", level)
 
 	pbIsHigh := hintKey == nil || bytes.Compare(hintKey, sep) >= 0
 	var pbLo, pbHi []byte

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/freelist"
+	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/storage"
 	"repro/internal/synctoken"
@@ -46,6 +48,11 @@ type Options struct {
 	// DisablePeerCheck skips peer-pointer sync-token verification on
 	// scans (§3.5.1). Ablation only.
 	DisablePeerCheck bool
+	// Obs, when non-nil, receives recovery events, repair-case counters
+	// (§3.3 / §3.4 (a)–(e)), and latency histograms. It is also attached
+	// to the tree's buffer pool. Nil disables recording at the cost of one
+	// pointer test per hook.
+	Obs *obs.Recorder
 }
 
 // Stats counts operations and recovery events. All fields are updated
@@ -99,6 +106,10 @@ type Tree struct {
 
 	nextNew uint32 // next page number when the freelist is empty
 
+	// obs is the optional event recorder (nil = disabled; all methods on a
+	// nil *obs.Recorder are no-ops). Immutable after Open.
+	obs *obs.Recorder
+
 	// Stats is the operation/recovery counter block.
 	Stats Stats
 }
@@ -113,7 +124,9 @@ func Open(disk storage.Disk, variant Variant, opts Options) (*Tree, error) {
 		free:    freelist.New(),
 		variant: variant,
 		opts:    opts,
+		obs:     opts.Obs,
 	}
+	t.pool.SetObs(opts.Obs)
 	f, err := t.pool.Get(0)
 	if err != nil {
 		return nil, err
@@ -269,6 +282,10 @@ func (t *Tree) Sync() error {
 }
 
 func (t *Tree) syncLocked() error {
+	if r := t.obs; r != nil {
+		start := time.Now()
+		defer func() { r.Observe(obs.TSyncFlush, time.Since(start)) }()
+	}
 	if err := t.pool.SyncAll(); err != nil {
 		return err
 	}

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/storage"
 )
@@ -115,6 +116,10 @@ type Pool struct {
 	ioRetries  atomic.Int64
 	ioChecksum atomic.Int64
 	ioTorn     atomic.Int64
+
+	// recorder is the optional observability sink (nil = disabled); swapped
+	// atomically like the retry policy so SetObs never races page I/O.
+	recorder atomic.Pointer[obs.Recorder]
 }
 
 // Frame is a buffered page. The page contents must only be accessed while
@@ -206,6 +211,13 @@ func (p *Pool) SetRetryPolicy(rp RetryPolicy) {
 	}
 	p.retry.Store(&rp)
 }
+
+// SetObs attaches an event recorder to the pool (nil detaches). Every
+// method on a nil *obs.Recorder is a no-op, so hook sites need no guards.
+func (p *Pool) SetObs(r *obs.Recorder) { p.recorder.Store(r) }
+
+// rec returns the attached recorder, which may be nil.
+func (p *Pool) rec() *obs.Recorder { return p.recorder.Load() }
 
 // IOStats returns a snapshot of the fault-handling counters.
 func (p *Pool) IOStats() IOStats {
@@ -363,6 +375,7 @@ func (p *Pool) routeNeverDurable(no storage.PageNo, f *Frame, cause string) erro
 	}
 	f.zeroRouted = true
 	p.ioChecksum.Add(1)
+	p.rec().Eventf(obs.ZeroRoute, uint32(no), "%s; serving never-durable zero page", cause)
 	return nil
 }
 
@@ -386,6 +399,7 @@ func (p *Pool) writeFrame(f *Frame) error {
 	if f.zeroRouted {
 		if !f.Data.IsZeroed() {
 			p.ioTorn.Add(1)
+			p.rec().Eventf(obs.TornRepair, uint32(f.pageNo), "zero-routed page rewritten with valid contents")
 		}
 		f.zeroRouted = false
 	}
@@ -491,6 +505,7 @@ func (pt *partition) ensureRoomLocked() (dropped bool, err error) {
 			// Write back outside the lock, then let the caller restart:
 			// on the next pass the frame is clean (unless re-dirtied) and
 			// evicts without I/O.
+			pt.pool.rec().Count(obs.EvictDirty)
 			f.pins.Add(1)
 			pt.mu.Unlock()
 			f.RLatch()
@@ -506,6 +521,7 @@ func (pt *partition) ensureRoomLocked() (dropped bool, err error) {
 		f.valid = false
 		delete(pt.frames, f.pageNo)
 		pt.clock = append(pt.clock[:pt.hand], pt.clock[pt.hand+1:]...)
+		pt.pool.rec().Count(obs.EvictClean)
 		return false, nil
 	}
 	return false, fmt.Errorf("buffer: all %d frames pinned", len(pt.frames))
@@ -614,6 +630,10 @@ func (p *Pool) Drop(no storage.PageNo) {
 // between the snapshot and its turn has already been written by the
 // evictor, so skipping it loses nothing.
 func (p *Pool) flushDirty() error {
+	if r := p.rec(); r != nil {
+		start := time.Now()
+		defer func() { r.Observe(obs.TFlushDirty, time.Since(start)) }()
+	}
 	type target struct {
 		pt *partition
 		no storage.PageNo

@@ -39,6 +39,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/buffer"
 	"repro/internal/heap"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/vacuum"
@@ -74,7 +75,20 @@ type Config struct {
 	// Retry bounds transient-I/O retries in every buffer pool the DB
 	// opens. The zero value means buffer.DefaultRetryPolicy.
 	Retry buffer.RetryPolicy
+	// Obs, when non-nil, receives recovery events and metrics from every
+	// index and buffer pool the DB opens. A nil recorder costs one
+	// pointer check per instrumented site.
+	Obs *obs.Recorder
 }
+
+// Events returns the recovery-event ring recorded so far, oldest first.
+// It returns nil when the DB was opened without a recorder.
+func (db *DB) Events() []obs.Event { return db.cfg.Obs.Events() }
+
+// Metrics returns a point-in-time snapshot of the recovery counters,
+// timers, and event ring. The zero Snapshot is returned when the DB was
+// opened without a recorder.
+func (db *DB) Metrics() obs.Snapshot { return db.cfg.Obs.Snapshot() }
 
 // IOStats aggregates the fault-handling counters of every buffer pool the
 // DB has opened (relations and indexes): retries after transient errors,
@@ -230,6 +244,7 @@ func (db *DB) CreateRelation(name string) (*Relation, error) {
 	if db.cfg.Retry != (buffer.RetryPolicy{}) {
 		r.Pool().SetRetryPolicy(db.cfg.Retry)
 	}
+	r.Pool().SetObs(db.cfg.Obs)
 	rel := &Relation{db: db, name: name, h: r}
 	db.rels[name] = rel
 	return rel, nil
@@ -249,6 +264,9 @@ func (db *DB) CreateIndex(name string, v Variant) (*Index, error) {
 	opts := db.cfg.IndexOptions
 	if opts.PoolSize == 0 {
 		opts.PoolSize = db.cfg.PoolSize
+	}
+	if opts.Obs == nil {
+		opts.Obs = db.cfg.Obs
 	}
 	t, err := btree.Open(d, v, opts)
 	if err != nil {

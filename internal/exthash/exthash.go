@@ -42,6 +42,7 @@ import (
 	"sync"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/storage"
 	"repro/internal/synctoken"
@@ -89,9 +90,19 @@ type Index struct {
 
 	mu      sync.Mutex // single-writer, and reads share it too (hash ops are O(1))
 	nextNew uint32
+	obs     *obs.Recorder
 
 	// Stats mirror the btree's counters for the recovery paths.
 	Splits, Doublings, Repairs, DirRepairs uint64
+}
+
+// SetObs attaches a recorder to the index and its buffer pool. Call before
+// concurrent use; a nil recorder disables recording.
+func (ix *Index) SetObs(r *obs.Recorder) {
+	ix.mu.Lock()
+	ix.obs = r
+	ix.mu.Unlock()
+	ix.pool.SetObs(r)
 }
 
 // Open opens (creating if empty) an extensible hash index on disk. As with
@@ -315,6 +326,7 @@ func (ix *Index) dirChunkFrame(m metaState, slot uint32) (*buffer.Frame, error) 
 			ErrUnrecoverable, chunk)
 	}
 	ix.DirRepairs++
+	ix.obs.Eventf(obs.RepairHashDir, no, "directory chunk %d rebuilt from previous directory", chunk)
 	oldMask := uint32(1)<<(m.globalDepth-1) - 1
 	ix.initDirChunk(f, chunk)
 	f.Data.SetSyncToken(m.dirToken)
@@ -381,6 +393,7 @@ func (ix *Index) bucketForSlot(m metaState, slot uint32) (*buffer.Frame, uint32,
 			if p.FindDuplicateSlot() >= 0 {
 				p.RepairDuplicates()
 				ix.Repairs++
+				ix.obs.Eventf(obs.RepairIntraPage, cur, "duplicate line-table entries removed from bucket")
 			}
 			p.AddFlag(page.FlagLineClean)
 			bF.MarkDirty()
@@ -434,6 +447,7 @@ func (ix *Index) bucketForSlot(m metaState, slot uint32) (*buffer.Frame, uint32,
 	pF.Unpin()
 	bF.MarkDirty()
 	ix.Repairs++
+	ix.obs.Eventf(obs.RepairHashBucket, cur, "bucket re-hashed from pre-split bucket %d", prev)
 	return bF, cur, nil
 }
 

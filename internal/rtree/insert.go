@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -142,6 +143,7 @@ func (t *Tree) verifiedRoot(m *metaState) (*buffer.Frame, error) {
 		m.height = p.Level() + 1
 		f.MarkDirty()
 		t.Repairs++
+		t.obs.Eventf(obs.RepairRoot, m.root, "interrupted root replacement accepted in place")
 		return f, t.writeMeta(*m)
 	}
 	if m.prevRoot == 0 {
@@ -149,6 +151,7 @@ func (t *Tree) verifiedRoot(m *metaState) (*buffer.Frame, error) {
 		m.rootToken = f.Data.SyncToken()
 		m.height = 1
 		t.Repairs++
+		t.obs.Eventf(obs.RepairRoot, m.root, "initialized empty root")
 		return f, t.writeMeta(*m)
 	}
 	prevFrame, err := t.pool.Get(m.prevRoot)
@@ -168,6 +171,7 @@ func (t *Tree) verifiedRoot(m *metaState) (*buffer.Frame, error) {
 	m.rootToken = f.Data.SyncToken()
 	m.height = f.Data.Level() + 1
 	t.Repairs++
+	t.obs.Eventf(obs.RepairRoot, m.root, "copied from prevRoot %d", m.prevRoot)
 	return f, t.writeMeta(*m)
 }
 
@@ -179,6 +183,7 @@ func (t *Tree) fixIntraNode(f *buffer.Frame) {
 	if f.Data.FindDuplicateSlot() >= 0 {
 		f.Data.RepairDuplicates()
 		t.Repairs++
+		t.obs.Eventf(obs.RepairIntraPage, uint32(f.PageNo()), "duplicate line-table entries removed")
 	}
 	f.Data.AddFlag(page.FlagLineClean)
 	f.MarkDirty()
@@ -336,6 +341,7 @@ func (t *Tree) redoSplit(parent *nodeRef, idx int, e entry, childFrame *buffer.F
 				}
 			}
 			t.Repairs++
+			t.obs.Eventf(obs.RepairRTreeRedo, e.child, "lost half rebuilt as pre-split node %d minus surviving sibling %d", e.prev, sib.child)
 			return rebuild(childFrame, idx, e, mine)
 		}
 		// Both halves lost: redo the deterministic split, assign
@@ -355,10 +361,12 @@ func (t *Tree) redoSplit(parent *nodeRef, idx int, e entry, childFrame *buffer.F
 			return err
 		}
 		t.Repairs += 2
+		t.obs.Eventf(obs.RepairRTreeRedo, e.child, "both halves lost; quadratic split re-run on pre-split node %d", e.prev)
 		return nil
 	}
 	// No sibling entry: the child takes the whole pre-split node.
 	t.Repairs++
+	t.obs.Eventf(obs.RepairRTreeRedo, e.child, "no sibling entry; child takes pre-split node %d whole", e.prev)
 	return rebuild(childFrame, idx, e, prevEntries)
 }
 

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/storage"
 	"repro/internal/synctoken"
@@ -165,9 +166,19 @@ type Tree struct {
 
 	mu      sync.Mutex
 	nextNew uint32
+	obs     *obs.Recorder
 
 	// Stats.
 	Splits, Repairs, Widenings uint64
+}
+
+// SetObs attaches a recorder to the tree and its buffer pool. Call before
+// concurrent use; a nil recorder disables recording.
+func (t *Tree) SetObs(r *obs.Recorder) {
+	t.mu.Lock()
+	t.obs = r
+	t.mu.Unlock()
+	t.pool.SetObs(r)
 }
 
 // Open opens (creating if empty) an R-tree on disk.

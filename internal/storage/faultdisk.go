@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/page"
 )
 
@@ -98,6 +99,9 @@ type FaultDisk struct {
 	runWrite map[PageNo]int
 	stats    FaultStats
 	closed   bool
+	// rec annotates the observability trace with each injected fault, so a
+	// timeline pairs every cause with the repair it provoked. Guarded by mu.
+	rec *obs.Recorder
 }
 
 // NewFaultDisk wraps inner with fault injection. The inner disk must be a
@@ -128,6 +132,14 @@ func NewFaultDisk(inner Disk, cfg FaultConfig) (*FaultDisk, error) {
 		d.everDurable[no] = true
 	}
 	return d, nil
+}
+
+// SetObs attaches an event recorder; injected faults are then recorded as
+// inject.* events alongside the repairs they provoke.
+func (d *FaultDisk) SetObs(r *obs.Recorder) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rec = r
 }
 
 // Stats returns a snapshot of the injected-fault counters.
@@ -181,11 +193,13 @@ func (d *FaultDisk) ReadPage(no PageNo, buf page.Page) error {
 		d.rng.Float64() < d.cfg.TransientReadProb {
 		d.runRead[no]++
 		d.stats.TransientReads++
+		d.rec.Eventf(obs.InjectTransient, uint32(no), "read")
 		return fmt.Errorf("%w: read page %d", ErrTransient, no)
 	}
 	d.runRead[no] = 0
 	if d.badSectors[no] {
 		d.stats.BadSectorReads++
+		d.rec.Eventf(obs.InjectBadSector, uint32(no), "unreadable sector")
 		return fmt.Errorf("%w: page %d", ErrBadSector, no)
 	}
 	if data, ok := d.pending[no]; ok {
@@ -203,6 +217,7 @@ func (d *FaultDisk) ReadPage(no PageNo, buf page.Page) error {
 		bit := d.rng.Intn(len(buf) * 8)
 		buf[bit/8] ^= 1 << uint(bit%8)
 		d.stats.BitRotReads++
+		d.rec.Eventf(obs.InjectBitRot, uint32(no), "bit %d flipped", bit)
 	}
 	return nil
 }
@@ -222,6 +237,7 @@ func (d *FaultDisk) WritePage(no PageNo, data page.Page) error {
 		d.rng.Float64() < d.cfg.TransientWriteProb {
 		d.runWrite[no]++
 		d.stats.TransientWrites++
+		d.rec.Eventf(obs.InjectTransient, uint32(no), "write")
 		return fmt.Errorf("%w: write page %d", ErrTransient, no)
 	}
 	d.runWrite[no] = 0
@@ -313,6 +329,7 @@ func (d *FaultDisk) CrashPartial(pick func(pending []PageNo) []PageNo) error {
 		if d.tearableLocked(no) && d.rng.Float64() < d.cfg.TornWriteProb {
 			img = d.tornImageLocked(no, data)
 			d.stats.TornWrites++
+			d.rec.Eventf(obs.InjectTorn, uint32(no), "write torn at crash")
 		}
 		if err := d.raw.writePageRaw(no, img); err != nil {
 			return err
