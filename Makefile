@@ -1,12 +1,13 @@
 # Single entry point for the repo's checks. `make check` is the whole CI:
 # vet + build + tier-1 tests + the race-enabled suite + the repair-case
-# coverage gate + a one-iteration smoke of the parallel benchmarks.
+# coverage gate + the degraded-mode/quarantine gate + nested-fault crash
+# rounds + a one-iteration smoke of the parallel benchmarks.
 
 GO ?= go
 
-.PHONY: check vet build test test-short race repair-coverage bench bench-smoke bench-parallel
+.PHONY: check vet build test test-short race repair-coverage quarantine nested-faults bench bench-smoke bench-parallel
 
-check: vet build test race repair-coverage bench-smoke
+check: vet build test race repair-coverage quarantine nested-faults bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +34,21 @@ race:
 # cases.
 repair-coverage:
 	$(GO) test ./internal/btree -run TestRepairCaseCoverage
+
+# The degraded-mode gate: quarantine registry semantics, skip-and-report
+# scans, supervisor heal/rebuild, and the health-state machine — including
+# the counter-backed Healthy -> Degraded -> Healthy acceptance scenario.
+quarantine:
+	$(GO) test ./internal/buffer -run 'TestRetryExhausted|TestZeroRoute|TestMetaPageQuarantine|TestQuarantineBackoff|TestNewPageReleases'
+	$(GO) test ./internal/btree -run 'TestDegradedScan|TestHealQuarantined'
+	$(GO) test ./internal/core -run 'TestHealth|TestSupervisor'
+
+# Crash-during-recovery hardening: the in-process idempotence tests plus a
+# few fastrec-crash rounds that crash again while repair is in flight.
+nested-faults:
+	$(GO) test ./internal/btree -run 'NestedCrash'
+	$(GO) run ./cmd/fastrec-crash -variant shadow -rounds 3 -nested-faults -seed 1
+	$(GO) run ./cmd/fastrec-crash -variant reorg -rounds 3 -nested-faults -faults -seed 1
 
 # One iteration of each parallel benchmark (proves the concurrency plumbing
 # works end to end), plus the disabled-recorder overhead bound: obs calls

@@ -26,6 +26,7 @@ var (
 	seed          = flag.Int64("seed", 42, "crash subset RNG seed")
 	verbose       = flag.Bool("v", false, "print per-round details")
 	faults        = flag.Bool("faults", false, "run over a FaultDisk: torn page writes at crash time plus transient I/O errors")
+	nestedFaults  = flag.Bool("nested-faults", false, "crash a second time in the middle of recovery: run partial repairs after the first crash, crash again with a random durable subset, then verify")
 	tornProb      = flag.Float64("torn-prob", 1.0, "with -faults: probability a surviving fresh-page write is torn")
 	transientProb = flag.Float64("transient-prob", 0.01, "with -faults: probability a read/write fails transiently")
 )
@@ -85,6 +86,9 @@ func main() {
 	if *faults {
 		mode = " (with fault injection)"
 	}
+	if *nestedFaults {
+		mode += " (with a nested crash during recovery)"
+	}
 	fmt.Printf("%d random crash rounds on the %v index%s: all committed keys recovered, structure valid.\n",
 		*rounds, variant, mode)
 }
@@ -128,7 +132,21 @@ func runRound(variant btree.Variant, rng *rand.Rand, faultSeed int64) (repairs u
 	if err != nil {
 		return 0, err
 	}
-	err = d.CrashPartial(func(pending []storage.PageNo) []storage.PageNo {
+	if err := crashRandom(d, rng); err != nil {
+		return 0, err
+	}
+	if *nestedFaults {
+		if err := nestedCrash(d, variant, rng); err != nil {
+			return 0, err
+		}
+	}
+	return verify(d, variant, *nPre)
+}
+
+// crashRandom crashes the disk keeping a random durable subset of the
+// pending writes.
+func crashRandom(d storage.Crasher, rng *rand.Rand) error {
+	return d.CrashPartial(func(pending []storage.PageNo) []storage.PageNo {
 		var keep []storage.PageNo
 		for _, no := range pending {
 			if rng.Intn(2) == 0 {
@@ -137,10 +155,32 @@ func runRound(variant btree.Variant, rng *rand.Rand, faultSeed int64) (repairs u
 		}
 		return keep
 	})
+}
+
+// nestedCrash models a crash during recovery: reopen the index after the
+// first crash, drive a sample of lookups so the lazy repairs start running
+// (with any fault injection still armed), flush the partially repaired
+// state, and crash again keeping only a random subset of the repair
+// writes durable. Every repair case must be idempotent for the subsequent
+// verify pass to succeed.
+func nestedCrash(d storage.Crasher, variant btree.Variant, rng *rand.Rand) error {
+	tr, err := btree.Open(d, variant, btree.Options{})
 	if err != nil {
-		return 0, err
+		return fmt.Errorf("nested reopen: %w", err)
 	}
-	return verify(d, variant, *nPre)
+	step := *nPre/16 + 1
+	for i := 0; i < *nPre; i += step {
+		// Transient-fault lookups may fail mid-repair; the final verify
+		// pass re-runs the repair, which is the property under test.
+		_, _ = tr.Lookup(key(i))
+	}
+	if err := tr.Pool().FlushDirty(); err != nil {
+		return fmt.Errorf("nested flush: %w", err)
+	}
+	if err := crashRandom(d, rng); err != nil {
+		return fmt.Errorf("nested crash: %w", err)
+	}
+	return nil
 }
 
 func verify(d storage.Disk, variant btree.Variant, committed int) (uint64, error) {

@@ -10,7 +10,10 @@
 // The scrub subcommand walks every page of a file and verifies the
 // format-v2 header checksums — the on-demand detector for torn page writes
 // and media decay. With -repair it routes the damage through the index's
-// crash-repair machinery and verifies the file comes back clean:
+// crash-repair machinery and verifies the file comes back clean; pages
+// repair concludes are unrecoverable are quarantined and reported
+// distinctly. Exit status: 0 the file is clean, 1 damage was found (and,
+// with -repair, fully repaired), 2 unrecoverable damage remains:
 //
 //	fastrec-dump scrub -file idx.pg
 //	fastrec-dump scrub -file idx.pg -variant shadow -repair
@@ -200,8 +203,10 @@ func scrubFile(path string, verbose bool) (bad []storage.PageNo, total storage.P
 }
 
 // runScrub implements the scrub subcommand: verify every page checksum,
-// optionally repair through the index's recovery machinery, and exit
-// non-zero if unrepaired damage remains.
+// optionally repair through the index's recovery machinery, and report the
+// outcome through the exit status — 0 the file is clean, 1 damage was found
+// (and, with -repair, fully repaired), 2 unrecoverable damage remains
+// (quarantined pages, or a damaged meta page).
 func runScrub(args []string) {
 	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
 	sFile := fs.String("file", "", "index page file (required)")
@@ -229,8 +234,8 @@ func runScrub(args []string) {
 	}
 	for _, no := range bad {
 		if no == 0 {
-			fmt.Fprintln(os.Stderr, "scrub: meta page 0 is damaged; it has no redundant copy and cannot be repaired")
-			os.Exit(1)
+			fmt.Fprintln(os.Stderr, "scrub: meta page 0 is UNRECOVERABLE; it has no redundant copy and cannot be repaired")
+			os.Exit(2)
 		}
 	}
 
@@ -239,13 +244,21 @@ func runScrub(args []string) {
 		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *sVariant)
 		os.Exit(2)
 	}
-	st, err := repairFile(*sFile, variant, bad)
+	st, quarantined, err := repairFile(*sFile, variant, bad)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scrub: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("repair: %d damaged reads routed into crash repair, %d pages rebuilt\n",
 		st.ChecksumFailures, st.TornPagesRepaired)
+	if len(quarantined) > 0 {
+		for _, q := range quarantined {
+			fmt.Fprintf(os.Stderr, "scrub: page %d UNRECOVERABLE (quarantined): %s\n", q.PageNo, q.Reason)
+		}
+		fmt.Fprintf(os.Stderr, "scrub: %d of %d pages unrecoverable; the rest of the key space remains readable\n",
+			len(quarantined), total)
+		os.Exit(2)
+	}
 
 	still, total, err := scrubFile(*sFile, false)
 	if err != nil {
@@ -254,52 +267,61 @@ func runScrub(args []string) {
 	}
 	if len(still) > 0 {
 		fmt.Fprintf(os.Stderr, "scrub: %d of %d pages still damaged after repair: %v\n", len(still), total, still)
-		os.Exit(1)
+		os.Exit(2)
 	}
 	fmt.Printf("scrub: %d pages re-verified after repair, all checksums OK\n", total)
+	os.Exit(1) // damage was found and repaired; 0 means the file was clean
 }
 
 // repairFile routes every damaged page of the index file through the
-// crash-repair machinery: RecoverAll rebuilds reachable damage in place
-// ("this page never became durable"), the vacuum reclaims damaged pages
-// that fell off the tree (e.g. the orphaned half of an interrupted split),
-// and reclaimed damage is cleared by zeroing the dead image.
-func repairFile(path string, variant btree.Variant, bad []storage.PageNo) (buffer.IOStats, error) {
+// crash-repair machinery: RecoverAvailable rebuilds reachable damage in
+// place ("this page never became durable") while stepping over subtrees
+// repair concludes are unrecoverable — those come back quarantined. On a
+// fully repaired file the vacuum then reclaims damaged pages that fell off
+// the tree (e.g. the orphaned half of an interrupted split), and reclaimed
+// damage is cleared by zeroing the dead image; with quarantined pages the
+// reachability walk cannot be trusted, so the vacuum and zeroing are
+// skipped and the surviving repairs are simply made durable.
+func repairFile(path string, variant btree.Variant, bad []storage.PageNo) (buffer.IOStats, []buffer.QuarantinedPage, error) {
 	disk, err := storage.OpenFileDisk(path)
 	if err != nil {
-		return buffer.IOStats{}, err
+		return buffer.IOStats{}, nil, err
 	}
 	tr, err := btree.Open(disk, variant, btree.Options{})
 	if err != nil {
 		disk.Close()
-		return buffer.IOStats{}, fmt.Errorf("open for repair: %w", err)
+		return buffer.IOStats{}, nil, fmt.Errorf("open for repair: %w", err)
 	}
-	if err := tr.RecoverAll(); err != nil {
+	if _, err := tr.RecoverAvailable(); err != nil {
 		disk.Close()
-		return buffer.IOStats{}, fmt.Errorf("repair: %w", err)
+		return buffer.IOStats{}, nil, fmt.Errorf("repair: %w", err)
 	}
-	if _, err := vacuum.Index(tr); err != nil {
-		disk.Close()
-		return buffer.IOStats{}, fmt.Errorf("vacuum: %w", err)
-	}
-	for _, no := range bad {
-		if tr.Freelist().Contains(no) {
-			if err := tr.Pool().Disk().WritePage(no, page.New()); err != nil {
-				disk.Close()
-				return buffer.IOStats{}, fmt.Errorf("zero free page %d: %w", no, err)
+	quarantined := tr.Pool().Quarantine().List()
+	sort.Slice(quarantined, func(i, j int) bool { return quarantined[i].PageNo < quarantined[j].PageNo })
+	if len(quarantined) == 0 {
+		if _, err := vacuum.Index(tr); err != nil {
+			disk.Close()
+			return buffer.IOStats{}, nil, fmt.Errorf("vacuum: %w", err)
+		}
+		for _, no := range bad {
+			if tr.Freelist().Contains(no) {
+				if err := tr.Pool().Disk().WritePage(no, page.New()); err != nil {
+					disk.Close()
+					return buffer.IOStats{}, nil, fmt.Errorf("zero free page %d: %w", no, err)
+				}
 			}
 		}
 	}
 	if err := tr.Sync(); err != nil {
 		disk.Close()
-		return buffer.IOStats{}, fmt.Errorf("sync: %w", err)
+		return buffer.IOStats{}, quarantined, fmt.Errorf("sync: %w", err)
 	}
 	st := tr.Pool().IOStats()
 	if err := tr.Close(); err != nil {
 		disk.Close()
-		return st, fmt.Errorf("close: %w", err)
+		return st, quarantined, fmt.Errorf("close: %w", err)
 	}
-	return st, disk.Close()
+	return st, quarantined, disk.Close()
 }
 
 // traceFile reopens the index with a recorder attached and replays the

@@ -130,12 +130,15 @@ func TestScrubDetectsAndRepairsTornCrash(t *testing.T) {
 	}
 
 	// The scrub -repair workflow.
-	st, err := repairFile(path, btree.Shadow, bad)
+	st, quarantined, err := repairFile(path, btree.Shadow, bad)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.ChecksumFailures == 0 {
 		t.Fatal("repair never saw a checksum failure")
+	}
+	if len(quarantined) != 0 {
+		t.Fatalf("torn split pages must be repairable, got quarantined %v", quarantined)
 	}
 
 	still, _, err := scrubFile(path, false)

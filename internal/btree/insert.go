@@ -36,7 +36,10 @@ func (t *Tree) Insert(key, value []byte) error {
 			retryBackoff(attempt)
 			continue
 		}
-		if errors.Is(err, errNeedsExclusive) || errors.Is(err, errNeedsRepair) {
+		if errors.Is(err, errNeedsExclusive) || errors.Is(err, errNeedsRepair) ||
+			errors.Is(err, buffer.ErrQuarantined) {
+			// Quarantine errors fall through too: the exclusive descent
+			// attaches the prescribed key range to the typed error.
 			break
 		}
 		return err

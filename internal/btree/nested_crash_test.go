@@ -1,0 +1,129 @@
+package btree
+
+import (
+	"testing"
+
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+// These tests pin the crash-during-recovery guarantee: every repair case
+// must be idempotent. A first crash leaves damage; a reopened tree runs the
+// lazy repair on first use; a second crash then keeps only a subset of the
+// repair's own writes durable — and the next recovery pass must still
+// converge to a correct tree with every committed key.
+
+// keepAlternate is the second crash's durable subset: every other pending
+// repair write survives, tearing the repair across the durability boundary.
+func keepAlternate(pending []storage.PageNo) []storage.PageNo {
+	var keep []storage.PageNo
+	for i, no := range pending {
+		if i%2 == 0 {
+			keep = append(keep, no)
+		}
+	}
+	return keep
+}
+
+// interruptRepair reopens the crashed disk, fires the lazy repair with a
+// single lookup of the crash region, flushes the partial repair, and
+// crashes again with the given durable subset.
+func interruptRepair(t *testing.T, d storage.Crasher, v Variant, probeKey int, keep func([]storage.PageNo) []storage.PageNo) {
+	t.Helper()
+	tr, err := Open(d, v, Options{})
+	if err != nil {
+		t.Fatalf("reopen for mid-repair crash: %v", err)
+	}
+	// The lookup drives the repair; its result is irrelevant here (the key
+	// may be uncommitted), only the repair writes matter.
+	_, _ = tr.Lookup(u32key(probeKey))
+	if err := tr.Pool().FlushDirty(); err != nil {
+		t.Fatalf("flush mid-repair: %v", err)
+	}
+	if err := d.CrashPartial(keep); err != nil {
+		t.Fatalf("second crash: %v", err)
+	}
+}
+
+// TestShadowRepairIdempotentUnderNestedCrash interrupts the §3.3 prevPtr
+// re-copy: the first crash keeps only the split parent (both new halves
+// lost), the re-copy runs, and a second crash tears the re-copy's writes.
+func TestShadowRepairIdempotentUnderNestedCrash(t *testing.T) {
+	nPre := findSplitTrigger(t, Shadow, 600)
+	trigger := []int{nPre}
+
+	probe := crashScenario(t, Shadow, nPre, trigger)
+	pending := probe.PendingPages()
+	if err := probe.CrashPartial(storage.CrashAll); err != nil {
+		t.Fatal(err)
+	}
+	var parentNo storage.PageNo
+	buf := page.New()
+	for _, no := range pending {
+		if err := probe.ReadPage(no, buf); err != nil {
+			continue
+		}
+		if buf.Valid() && buf.Type() == page.TypeInternal {
+			parentNo = no
+			break
+		}
+	}
+	if parentNo == 0 {
+		t.Fatal("no internal page among the shadow split's pending writes")
+	}
+
+	for name, keep := range map[string]func([]storage.PageNo) []storage.PageNo{
+		"second crash drops all repair writes": storage.CrashOnly(),
+		"second crash tears the repair writes": keepAlternate,
+	} {
+		d := crashScenario(t, Shadow, nPre, trigger)
+		if err := d.CrashPartial(storage.CrashOnly(parentNo)); err != nil {
+			t.Fatal(err)
+		}
+		interruptRepair(t, d, Shadow, nPre, keep)
+		verifyRecovered(t, d, Shadow, nPre, "§3.3 "+name)
+	}
+}
+
+// TestReorgRepairIdempotentUnderNestedCrash interrupts each §3.4 case
+// (a)–(e) mid-repair, with the second crash both dropping and tearing the
+// repair's writes, and asserts the following recovery converges.
+func TestReorgRepairIdempotentUnderNestedCrash(t *testing.T) {
+	nPre := findSplitTrigger(t, Reorg, 600)
+	trigger := []int{nPre}
+	full := crashScenario(t, Reorg, nPre, trigger)
+	if err := full.CrashPartial(storage.CrashAll); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := reorgSplitPages(t, full)
+	if pa == 0 || pb == 0 {
+		t.Fatalf("split participants: pa=%d pb=%d", pa, pb)
+	}
+	cases := []struct {
+		name string
+		keep func([]storage.PageNo) []storage.PageNo
+	}{
+		{"(a) only P_a durable", storage.CrashOnly(pa)},
+		{"(b) P_a and P_b durable, parent not", storage.CrashOnly(pa, pb)},
+		{"(c) parent and P_a durable, P_b lost", storage.CrashExcept(pb)},
+		{"(d) parent and P_b durable, P_a lost", storage.CrashExcept(pa)},
+		{"(e) only the parent durable", storage.CrashExcept(pa, pb)},
+	}
+	seconds := []struct {
+		name string
+		keep func([]storage.PageNo) []storage.PageNo
+	}{
+		{"drop all repair writes", storage.CrashOnly()},
+		{"tear the repair writes", keepAlternate},
+	}
+	for _, tc := range cases {
+		for _, sc := range seconds {
+			d := crashScenario(t, Reorg, nPre, trigger)
+			if err := d.CrashPartial(tc.keep); err != nil {
+				t.Fatal(err)
+			}
+			interruptRepair(t, d, Reorg, nPre, sc.keep)
+			verifyRecovered(t, d, Reorg, nPre, "§3.4 "+tc.name+", "+sc.name)
+		}
+	}
+}

@@ -54,10 +54,16 @@ func (t *Tree) repairRoot(metaFrame, rootFrame *buffer.Frame) error {
 	if prev := m.prevRoot(); prev != 0 {
 		prevFrame, err := t.pool.Get(prev)
 		if err != nil {
+			if errors.Is(err, buffer.ErrQuarantined) && t.rebuildFallback {
+				return t.rebuildRootEmpty(metaFrame, rootFrame, "previous root %d is quarantined", prev)
+			}
 			return err
 		}
 		defer prevFrame.Unpin()
 		if prevFrame.Data.IsZeroed() || !prevFrame.Data.Valid() {
+			if t.rebuildFallback {
+				return t.rebuildRootEmpty(metaFrame, rootFrame, "previous root %d is not durable", prev)
+			}
 			return fmt.Errorf("%w: previous root %d is not durable", ErrUnrecoverable, prev)
 		}
 		copy(rootFrame.Data, prevFrame.Data)
@@ -156,19 +162,29 @@ func (t *Tree) repairChild(parent *pathEntry, idx int, it internalItem, childFra
 // previous version of the page, and the child's sync token is set to the
 // current global sync counter.
 func (t *Tree) repairShadowChild(parent *pathEntry, idx int, it internalItem, childFrame *buffer.Frame, cLo, cHi []byte) error {
+	level := parent.frame.Data.Level() - 1
 	if it.prev == 0 {
-		return fmt.Errorf("%w: child %d of page %d has no previous version",
-			ErrUnrecoverable, it.child, parent.no)
+		return t.unrecoverableChild(childFrame, level,
+			"child %d of page %d has no previous version", it.child, parent.no)
 	}
 	prevFrame, err := t.pool.Get(it.prev)
 	if err != nil {
+		if errors.Is(err, buffer.ErrQuarantined) {
+			return t.unrecoverableChild(childFrame, level,
+				"previous page %d of child %d is quarantined", it.prev, it.child)
+		}
 		return err
 	}
-	defer prevFrame.Unpin()
 	if prevFrame.Data.IsZeroed() || !prevFrame.Data.Valid() {
-		return fmt.Errorf("%w: previous page %d of child %d is not durable",
-			ErrUnrecoverable, it.prev, it.child)
+		// A zero-routed prev image is useless to every future repair
+		// attempt; drop it so a supervisor retry after the media heals
+		// re-reads the durable image instead of this cached zero page.
+		prevFrame.Unpin()
+		t.pool.Drop(it.prev)
+		return t.unrecoverableChild(childFrame, level,
+			"previous page %d of child %d is not durable", it.prev, it.child)
 	}
+	defer prevFrame.Unpin()
 	items, err := liveItems(prevFrame.Data)
 	if err != nil {
 		return err
@@ -188,7 +204,6 @@ func (t *Tree) repairShadowChild(parent *pathEntry, idx int, it internalItem, ch
 	if err != nil {
 		return err
 	}
-	level := parent.frame.Data.Level() - 1
 	t.initTreePage(childFrame, level)
 	if err := buildPage(childFrame.Data, inRange); err != nil {
 		return err
@@ -556,8 +571,8 @@ func (t *Tree) repairLostReorgChild(parent *pathEntry, idx int, childFrame *buff
 	// to restore. The correct pre-failure tree simply has no entry here:
 	// remove it, letting the left neighbor's range absorb the dead gap.
 	if pp.NKeys() <= 1 {
-		return fmt.Errorf("%w: cannot drop the last entry of parent %d for lost child %d",
-			ErrUnrecoverable, parent.no, childNo)
+		return t.unrecoverableChild(childFrame, level,
+			"cannot drop the last entry of parent %d for lost child %d", parent.no, childNo)
 	}
 	pp.ClearFlag(page.FlagLineClean)
 	if err := pp.DeleteSlot(idx); err != nil {

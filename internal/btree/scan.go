@@ -28,7 +28,7 @@ func (t *Tree) Scan(start, end []byte, fn func(key, value []byte) bool) error {
 		return nil
 	}
 	if !errors.Is(err, errNeedsExclusive) && !errors.Is(err, errRetryShared) &&
-		!errors.Is(err, errNeedsRepair) {
+		!errors.Is(err, errNeedsRepair) && !errors.Is(err, buffer.ErrQuarantined) {
 		return err
 	}
 	// Fall back to the exclusive (repairing) path, resuming at the cursor
@@ -128,6 +128,11 @@ func (t *Tree) trustedRightPeer(frame *buffer.Frame) (*buffer.Frame, bool, error
 	}
 	next, err := t.pool.Get(rp)
 	if err != nil {
+		if errors.Is(err, buffer.ErrQuarantined) {
+			// A quarantined peer is simply untrusted from the side path;
+			// the root descent has the range context to report the skip.
+			return nil, false, nil
+		}
 		return nil, false, err
 	}
 	ok := next.Data.Valid() && next.Data.Type() == page.TypeLeaf

@@ -49,6 +49,10 @@ func (t *Tree) getRoot(repair bool) (metaFrame *buffer.Frame, rootFrame *buffer.
 	rootFrame, err = t.pool.Get(rootNo)
 	if err != nil {
 		metaFrame.Unpin()
+		if errors.Is(err, buffer.ErrQuarantined) {
+			// The root covers the whole key space; surface that range.
+			return nil, nil, 0, asRangeError(rootNo, nil, nil, err)
+		}
 		return nil, nil, 0, err
 	}
 	if t.protected() && !t.opts.DisableRangeCheck {
@@ -64,6 +68,12 @@ func (t *Tree) getRoot(repair bool) (metaFrame *buffer.Frame, rootFrame *buffer.
 			if err := t.repairRoot(metaFrame, rootFrame); err != nil {
 				rootFrame.Unpin()
 				metaFrame.Unpin()
+				if errors.Is(err, ErrUnrecoverable) || errors.Is(err, buffer.ErrQuarantined) {
+					// A root with no durable source takes the whole key
+					// space down with it: quarantine as critical so the
+					// health-state machine forces ReadOnly.
+					return nil, nil, 0, t.quarantineSubtree(rootNo, nil, nil, true, err)
+				}
 				return nil, nil, 0, err
 			}
 		}
@@ -200,6 +210,12 @@ func (t *Tree) loadChild(parent *pathEntry, idx int, repair bool) (*buffer.Frame
 	}
 	childFrame, err := t.pool.Get(it.child)
 	if err != nil {
+		if errors.Is(err, buffer.ErrQuarantined) {
+			// Attach the prescribed subtree range to the pool-level error
+			// (and record it in the registry for scans and the supervisor).
+			t.pool.Quarantine().SetRange(it.child, cLo, cHi)
+			return nil, 0, nil, nil, asRangeError(it.child, cLo, cHi, err)
+		}
 		return nil, 0, nil, nil, err
 	}
 	if t.protected() && !t.opts.DisableRangeCheck {
@@ -216,6 +232,12 @@ func (t *Tree) loadChild(parent *pathEntry, idx int, repair bool) (*buffer.Frame
 			}
 			if err := t.repairChild(parent, idx, it, childFrame, cLo, cHi); err != nil {
 				childFrame.Unpin()
+				if errors.Is(err, ErrUnrecoverable) || errors.Is(err, buffer.ErrQuarantined) {
+					// Repair has no durable source (or its source is
+					// itself quarantined): withdraw the subtree instead
+					// of failing the DB, and degrade gracefully.
+					return nil, 0, nil, nil, t.quarantineSubtree(it.child, cLo, cHi, false, err)
+				}
 				return nil, 0, nil, nil, err
 			}
 		}
@@ -319,7 +341,10 @@ func (t *Tree) Lookup(key []byte) ([]byte, error) {
 			retryBackoff(attempt)
 			continue
 		}
-		if errors.Is(err, errNeedsExclusive) || errors.Is(err, errNeedsRepair) {
+		if errors.Is(err, errNeedsExclusive) || errors.Is(err, errNeedsRepair) ||
+			errors.Is(err, buffer.ErrQuarantined) {
+			// Quarantine errors fall through too: the exclusive descent
+			// attaches the prescribed key range to the typed error.
 			break
 		}
 		return val, err

@@ -106,6 +106,12 @@ type Tree struct {
 
 	nextNew uint32 // next page number when the freelist is empty
 
+	// rebuildFallback, when set (only inside AbandonQuarantined, under the
+	// exclusive lock), makes "no durable source" repair outcomes initialize
+	// an empty page instead of returning ErrUnrecoverable; the supervisor
+	// then re-inserts the lost keys from the heap relation.
+	rebuildFallback bool
+
 	// obs is the optional event recorder (nil = disabled; all methods on a
 	// nil *obs.Recorder are no-ops). Immutable after Open.
 	obs *obs.Recorder

@@ -23,6 +23,7 @@ package buffer
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,15 +46,45 @@ const (
 
 // RetryPolicy bounds the pool's handling of storage.ErrTransient: each
 // page I/O is attempted up to MaxAttempts times, sleeping BaseDelay before
-// the first retry and doubling before each subsequent one.
+// the first retry and doubling before each subsequent one, capped at
+// MaxDelay (0 = uncapped). With Jitter set, each sleep is randomized over
+// [delay/2, delay] so retry storms against a struggling device decorrelate
+// instead of hammering it in lockstep. An exhausted loop — the attempt cap
+// reached with the error still transient — bumps the retry.exhausted
+// counter and surfaces the error instead of spinning forever.
 type RetryPolicy struct {
 	MaxAttempts int
 	BaseDelay   time.Duration
+	MaxDelay    time.Duration
+	Jitter      bool
 }
 
 // DefaultRetryPolicy retries enough to outlast FaultDisk's default
 // MaxTransientRun of 3 while staying under a millisecond of total backoff.
-var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 5, BaseDelay: 50 * time.Microsecond}
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 5,
+	BaseDelay:   50 * time.Microsecond,
+	MaxDelay:    400 * time.Microsecond,
+	Jitter:      true,
+}
+
+// sleep backs off before retry number attempt (1-based).
+func (rp *RetryPolicy) sleep(attempt int) {
+	if rp.BaseDelay <= 0 {
+		return
+	}
+	delay := rp.BaseDelay
+	for i := 1; i < attempt && (rp.MaxDelay <= 0 || delay < rp.MaxDelay); i++ {
+		delay *= 2
+	}
+	if rp.MaxDelay > 0 && delay > rp.MaxDelay {
+		delay = rp.MaxDelay
+	}
+	if rp.Jitter && delay > 1 {
+		delay = delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+	}
+	time.Sleep(delay)
+}
 
 // checksumRereads is how many times a read with a failing checksum is
 // re-issued before the page is classified as never-durable. A re-read
@@ -74,6 +105,11 @@ type IOStats struct {
 	// that were subsequently rewritten with valid contents, i.e. actually
 	// repaired by the recovery machinery.
 	TornPagesRepaired int64
+	// RetriesExhausted is the number of page I/Os that burned the whole
+	// attempt budget and still failed with a transient error.
+	RetriesExhausted int64
+	// Quarantined is the number of pages currently withdrawn from service.
+	Quarantined int64
 }
 
 // PartitionStat is one stripe's share of the pool, reported by
@@ -113,9 +149,14 @@ type Pool struct {
 
 	// Fault-handling counters, atomic so stat readers never contend with
 	// the page-access hot path.
-	ioRetries  atomic.Int64
-	ioChecksum atomic.Int64
-	ioTorn     atomic.Int64
+	ioRetries   atomic.Int64
+	ioChecksum  atomic.Int64
+	ioTorn      atomic.Int64
+	ioExhausted atomic.Int64
+
+	// quarantine registers pages withdrawn from service after repair could
+	// not produce a sane image; Get fails fast on them with a typed error.
+	quarantine *Quarantine
 
 	// recorder is the optional observability sink (nil = disabled); swapped
 	// atomically like the retry policy so SetObs never races page I/O.
@@ -179,6 +220,7 @@ func NewPool(disk storage.Disk, capacity int) *Pool {
 		nParts:   uint32(n),
 		capacity: capacity,
 	}
+	p.quarantine = newQuarantine()
 	quota := (capacity + n - 1) / n
 	for i := range p.parts {
 		p.parts[i] = &partition{
@@ -225,12 +267,62 @@ func (p *Pool) IOStats() IOStats {
 		Retries:           p.ioRetries.Load(),
 		ChecksumFailures:  p.ioChecksum.Load(),
 		TornPagesRepaired: p.ioTorn.Load(),
+		RetriesExhausted:  p.ioExhausted.Load(),
+		Quarantined:       int64(p.quarantine.Len()),
 	}
+}
+
+// Quarantine exposes the pool's quarantine registry.
+func (p *Pool) Quarantine() *Quarantine { return p.quarantine }
+
+// QuarantinePage withdraws page no from service: the registry gains an
+// entry, any cached frame is dropped, and subsequent Gets fail fast with a
+// *QuarantineError until the page is released. Called by the index layer
+// when crash repair concludes a page has no durable source to rebuild from.
+func (p *Pool) QuarantinePage(no storage.PageNo, reason string, critical bool) {
+	if p.quarantine.Add(no, reason, critical) {
+		p.rec().Eventf(obs.QuarantinePage, uint32(no), "%s", reason)
+	}
+	p.Drop(no)
+}
+
+// ReleaseQuarantine returns page no to service (healed, superseded, or
+// abandoned for rebuild), reporting whether it was quarantined.
+func (p *Pool) ReleaseQuarantine(no storage.PageNo) bool {
+	if p.quarantine.Release(no) {
+		// Drop any cached (typically zero-routed) frame so the next Get
+		// re-reads the durable image — which may have healed.
+		p.Drop(no)
+		p.rec().Eventf(obs.QuarantineRelease, uint32(no), "released")
+		return true
+	}
+	return false
+}
+
+// ProbeDurable reads page no straight from the disk, bypassing the cache,
+// and reports whether the durable image verifies. The repair supervisor
+// probes before re-admitting a quarantined page.
+func (p *Pool) ProbeDurable(no storage.PageNo) bool {
+	if no >= p.disk.NumPages() {
+		return false
+	}
+	buf := page.New()
+	if err := p.readPageRetry(no, buf); err != nil {
+		return false
+	}
+	return buf.ChecksumOK()
 }
 
 // Get pins and returns the frame for page no, reading it from storage on a
 // miss. The caller must Unpin it.
 func (p *Pool) Get(no storage.PageNo) (*Frame, error) {
+	// Quarantine gate: a withdrawn page fails fast with the typed error.
+	// The empty-registry case is one atomic load.
+	if p.quarantine.count.Load() != 0 {
+		if err := p.quarantine.check(no); err != nil {
+			return nil, err
+		}
+	}
 	pt := p.part(no)
 	// Hit fast path: shared lock, atomic pin.
 	pt.mu.RLock()
@@ -317,6 +409,9 @@ func (p *Pool) readFrame(no storage.PageNo, f *Frame) error {
 	if errors.Is(err, storage.ErrBadSector) {
 		return p.routeNeverDurable(no, f, "unreadable sector")
 	}
+	if err == nil {
+		p.quarantine.noteCleanRead(no)
+	}
 	return err
 }
 
@@ -324,20 +419,18 @@ func (p *Pool) readFrame(no storage.PageNo, f *Frame) error {
 // the pool's RetryPolicy.
 func (p *Pool) readPageRetry(no storage.PageNo, buf page.Page) error {
 	rp := p.retry.Load()
-	delay := rp.BaseDelay
 	var err error
 	for attempt := 0; attempt < rp.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			p.ioRetries.Add(1)
-			if delay > 0 {
-				time.Sleep(delay)
-				delay *= 2
-			}
+			rp.sleep(attempt)
 		}
 		if err = p.disk.ReadPage(no, buf); !errors.Is(err, storage.ErrTransient) {
 			return err
 		}
 	}
+	p.ioExhausted.Add(1)
+	p.rec().Eventf(obs.RetryExhausted, uint32(no), "read still transient after %d attempts", rp.MaxAttempts)
 	return err
 }
 
@@ -345,30 +438,44 @@ func (p *Pool) readPageRetry(no storage.PageNo, buf page.Page) error {
 // the pool's RetryPolicy.
 func (p *Pool) writePageRetry(no storage.PageNo, data page.Page) error {
 	rp := p.retry.Load()
-	delay := rp.BaseDelay
 	var err error
 	for attempt := 0; attempt < rp.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			p.ioRetries.Add(1)
-			if delay > 0 {
-				time.Sleep(delay)
-				delay *= 2
-			}
+			rp.sleep(attempt)
 		}
 		if err = p.disk.WritePage(no, data); !errors.Is(err, storage.ErrTransient) {
 			return err
 		}
 	}
+	p.ioExhausted.Add(1)
+	p.rec().Eventf(obs.RetryExhausted, uint32(no), "write still transient after %d attempts", rp.MaxAttempts)
 	return err
 }
 
 // routeNeverDurable classifies page no's durable image as lost and serves
-// a zero page in its place, handing the damage to crash repair.
+// a zero page in its place, handing the damage to crash repair — unless the
+// same page has been classified this way zeroRouteStreakCap times in a row
+// without an intervening clean read, in which case repair demonstrably
+// cannot fix the durable image from here and the page is quarantined
+// instead of being handed back for another futile round.
 func (p *Pool) routeNeverDurable(no storage.PageNo, f *Frame, cause string) error {
 	if no == 0 {
-		// The meta page is overwritten in place and has no redundant
-		// copy; losing it is unrecoverable at this layer.
-		return fmt.Errorf("buffer: meta page 0 unrecoverable (%s)", cause)
+		// The meta page is overwritten in place and has no redundant copy;
+		// losing it is unrecoverable at this layer. Quarantine it as
+		// critical so the health-state machine forces ReadOnly/Failed.
+		if p.quarantine.Add(0, cause, true) {
+			p.rec().Eventf(obs.QuarantinePage, 0, "meta page: %s", cause)
+		}
+		return fmt.Errorf("buffer: meta page 0 unrecoverable (%s): %w",
+			cause, &QuarantineError{PageNo: 0, Reason: cause})
+	}
+	if streak := p.quarantine.noteZeroRoute(no); streak >= zeroRouteStreakCap {
+		reason := fmt.Sprintf("%s (%d consecutive zero-routes)", cause, streak)
+		if p.quarantine.Add(no, reason, false) {
+			p.rec().Eventf(obs.QuarantinePage, uint32(no), "%s", reason)
+		}
+		return &QuarantineError{PageNo: no, Reason: reason}
 	}
 	for i := range f.Data {
 		f.Data[i] = 0
@@ -412,6 +519,11 @@ func (p *Pool) writeFrame(f *Frame) error {
 // latch, so a stale reader still latched onto the recycled page cannot
 // race the zeroing).
 func (p *Pool) NewPage(no storage.PageNo) (*Frame, error) {
+	// A fresh allocation supersedes whatever damage got the page
+	// quarantined: the old contents are gone by design.
+	if p.quarantine.count.Load() != 0 && p.quarantine.Release(no) {
+		p.rec().Eventf(obs.QuarantineRelease, uint32(no), "superseded by fresh allocation")
+	}
 	pt := p.part(no)
 	pt.mu.Lock()
 	for {

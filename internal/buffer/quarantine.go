@@ -1,0 +1,302 @@
+// Page quarantine: the pool's last line of defense when checksum
+// zero-routing plus bounded retry still cannot produce a sane page image.
+// Instead of failing the whole DB, the damaged page is registered here and
+// dropped from the cache; subsequent Gets fail fast with a typed error the
+// index layer turns into a degraded-mode response (ErrQuarantined on point
+// lookups, skip-and-report on range scans), and the background repair
+// supervisor drains the registry off the caller's latency path.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// ErrQuarantined is the sentinel all quarantine failures unwrap to.
+var ErrQuarantined = errors.New("buffer: page quarantined")
+
+// QuarantineError is the typed error returned by Pool.Get for a
+// quarantined page. It unwraps to ErrQuarantined.
+type QuarantineError struct {
+	PageNo storage.PageNo
+	Reason string
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("buffer: page %d quarantined (%s)", e.PageNo, e.Reason)
+}
+
+func (e *QuarantineError) Unwrap() error { return ErrQuarantined }
+
+// QuarantinedPage is one registry entry. Lo/Hi, when HasRange is set, bound
+// the key range the index layer determined to be unreachable through this
+// page (Hi nil = unbounded above); scans use them to skip-and-report.
+type QuarantinedPage struct {
+	PageNo   storage.PageNo
+	Reason   string
+	Critical bool // meta/root page: forces the DB toward ReadOnly
+	Lo, Hi   []byte
+	HasRange bool
+	Attempts int  // supervisor repair attempts so far
+	GaveUp   bool // supervisor exhausted its attempt budget
+	NextTry  time.Time
+}
+
+// zeroRouteStreakCap is how many consecutive never-durable classifications
+// of the same page are tolerated before the pool stops handing the page to
+// crash repair and quarantines it: a once-torn page is repaired on the
+// first zero-route, so a streak means the durable image cannot be fixed
+// from here (e.g. a permanently unreadable sector).
+const zeroRouteStreakCap = 3
+
+// Quarantine backoff defaults; per-entry delay is
+// BaseBackoff << attempts, capped at MaxBackoff, with the attempt budget
+// bounded by GiveUpAfter.
+const (
+	defaultBaseBackoff = time.Millisecond
+	defaultMaxBackoff  = time.Second
+	defaultGiveUpAfter = 16
+)
+
+// Quarantine is the per-pool registry of pages withdrawn from service.
+// All methods are safe for concurrent use; the empty-registry fast path is
+// a single atomic load.
+type Quarantine struct {
+	// Backoff knobs, fixed before the pool is shared (NewPool sets the
+	// defaults; tests may override immediately after construction).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	GiveUpAfter int
+
+	count   atomic.Int64 // len(pages), for the lock-free empty check
+	streakN atomic.Int64 // len(streaks), same idea
+	notify  atomic.Pointer[func()]
+
+	mu      sync.Mutex
+	pages   map[storage.PageNo]*QuarantinedPage
+	streaks map[storage.PageNo]int // consecutive zero-routes per page
+	history map[storage.PageNo]int // attempts surviving Release, to dampen re-quarantine flapping
+}
+
+func newQuarantine() *Quarantine {
+	return &Quarantine{
+		BaseBackoff: defaultBaseBackoff,
+		MaxBackoff:  defaultMaxBackoff,
+		GiveUpAfter: defaultGiveUpAfter,
+		pages:       map[storage.PageNo]*QuarantinedPage{},
+		streaks:     map[storage.PageNo]int{},
+		history:     map[storage.PageNo]int{},
+	}
+}
+
+// SetNotify registers fn to run after every membership change (Add or
+// Release). fn must not call back into the registry or the pool: the core
+// layer uses it to set a dirty flag and recompute health lazily.
+func (q *Quarantine) SetNotify(fn func()) { q.notify.Store(&fn) }
+
+func (q *Quarantine) notifyChanged() {
+	if fn := q.notify.Load(); fn != nil {
+		(*fn)()
+	}
+}
+
+// Len returns the number of quarantined pages.
+func (q *Quarantine) Len() int { return int(q.count.Load()) }
+
+// IsQuarantined reports whether page no is quarantined.
+func (q *Quarantine) IsQuarantined(no storage.PageNo) bool {
+	if q.count.Load() == 0 {
+		return false
+	}
+	q.mu.Lock()
+	_, ok := q.pages[no]
+	q.mu.Unlock()
+	return ok
+}
+
+// check returns the typed error for page no if it is quarantined.
+func (q *Quarantine) check(no storage.PageNo) error {
+	q.mu.Lock()
+	e, ok := q.pages[no]
+	if !ok {
+		q.mu.Unlock()
+		return nil
+	}
+	err := &QuarantineError{PageNo: no, Reason: e.Reason}
+	q.mu.Unlock()
+	return err
+}
+
+// Add quarantines page no, reporting whether it was newly added. A page
+// re-quarantined after a Release resumes its previous attempt count, so
+// heal-then-fail cycles keep lengthening the supervisor's backoff rather
+// than flapping at full rate.
+func (q *Quarantine) Add(no storage.PageNo, reason string, critical bool) bool {
+	q.mu.Lock()
+	if e, ok := q.pages[no]; ok {
+		e.Critical = e.Critical || critical
+		q.mu.Unlock()
+		return false
+	}
+	e := &QuarantinedPage{PageNo: no, Reason: reason, Critical: critical}
+	if prev := q.history[no]; prev > 0 {
+		e.Attempts = prev
+		e.NextTry = time.Now().Add(q.backoff(prev))
+	}
+	q.pages[no] = e
+	q.count.Store(int64(len(q.pages)))
+	q.mu.Unlock()
+	q.notifyChanged()
+	return true
+}
+
+// SetRange records the key range the index layer computed for page no's
+// unreachable subtree. Lo/Hi are copied.
+func (q *Quarantine) SetRange(no storage.PageNo, lo, hi []byte) {
+	q.mu.Lock()
+	if e, ok := q.pages[no]; ok {
+		e.Lo = append([]byte(nil), lo...)
+		if hi != nil {
+			e.Hi = append([]byte(nil), hi...)
+		} else {
+			e.Hi = nil
+		}
+		e.HasRange = true
+	}
+	q.mu.Unlock()
+}
+
+// Release removes page no from quarantine (healed, superseded by a fresh
+// allocation, or abandoned for rebuild), reporting whether it was present.
+// The zero-route streak is reset so the next repair attempt starts fresh,
+// but the attempt count survives in history (see Add).
+func (q *Quarantine) Release(no storage.PageNo) bool {
+	q.mu.Lock()
+	e, ok := q.pages[no]
+	if !ok {
+		q.mu.Unlock()
+		return false
+	}
+	q.history[no] = e.Attempts
+	delete(q.pages, no)
+	q.count.Store(int64(len(q.pages)))
+	delete(q.streaks, no)
+	q.streakN.Store(int64(len(q.streaks)))
+	q.mu.Unlock()
+	q.notifyChanged()
+	return true
+}
+
+// List returns a copy of every entry, ordered by page number not
+// guaranteed; callers sort if they need determinism.
+func (q *Quarantine) List() []QuarantinedPage {
+	q.mu.Lock()
+	out := make([]QuarantinedPage, 0, len(q.pages))
+	for _, e := range q.pages {
+		out = append(out, *e)
+	}
+	q.mu.Unlock()
+	return out
+}
+
+// Critical reports whether any quarantined page is critical (meta or
+// root); gaveUp additionally reports whether any critical entry has
+// exhausted its repair budget.
+func (q *Quarantine) Critical() (critical, gaveUp bool) {
+	if q.count.Load() == 0 {
+		return false, false
+	}
+	q.mu.Lock()
+	for _, e := range q.pages {
+		if e.Critical {
+			critical = true
+			if e.GaveUp {
+				gaveUp = true
+			}
+		}
+	}
+	q.mu.Unlock()
+	return critical, gaveUp
+}
+
+// Due returns the entries whose backoff deadline has passed and that still
+// have repair budget, i.e. the supervisor's work list for this tick.
+func (q *Quarantine) Due(now time.Time) []QuarantinedPage {
+	if q.count.Load() == 0 {
+		return nil
+	}
+	q.mu.Lock()
+	var out []QuarantinedPage
+	for _, e := range q.pages {
+		if !e.GaveUp && !e.NextTry.After(now) {
+			out = append(out, *e)
+		}
+	}
+	q.mu.Unlock()
+	return out
+}
+
+// MarkAttempt records a failed supervisor repair attempt on page no,
+// pushing its next-try deadline out exponentially and flagging GaveUp once
+// the attempt budget is spent. (A successful attempt is recorded by
+// releasing the page instead.)
+func (q *Quarantine) MarkAttempt(no storage.PageNo) {
+	q.mu.Lock()
+	gaveUp := false
+	if e, ok := q.pages[no]; ok {
+		e.Attempts++
+		e.NextTry = time.Now().Add(q.backoff(e.Attempts))
+		if q.GiveUpAfter > 0 && e.Attempts >= q.GiveUpAfter {
+			e.GaveUp = true
+			gaveUp = true
+		}
+	}
+	q.mu.Unlock()
+	if gaveUp {
+		// Giving up on a critical page can change the DB's health state.
+		q.notifyChanged()
+	}
+}
+
+// backoff returns the delay before attempt n+1: BaseBackoff doubled per
+// attempt, capped at MaxBackoff.
+func (q *Quarantine) backoff(attempts int) time.Duration {
+	d := q.BaseBackoff
+	for i := 1; i < attempts && d < q.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > q.MaxBackoff {
+		d = q.MaxBackoff
+	}
+	return d
+}
+
+// noteZeroRoute bumps page no's consecutive zero-route streak and returns
+// the new value.
+func (q *Quarantine) noteZeroRoute(no storage.PageNo) int {
+	q.mu.Lock()
+	q.streaks[no]++
+	s := q.streaks[no]
+	q.streakN.Store(int64(len(q.streaks)))
+	q.mu.Unlock()
+	return s
+}
+
+// noteCleanRead resets page no's zero-route streak after a verified read.
+// The empty-streaks fast path keeps this off the hot read path.
+func (q *Quarantine) noteCleanRead(no storage.PageNo) {
+	if q.streakN.Load() == 0 {
+		return
+	}
+	q.mu.Lock()
+	if _, ok := q.streaks[no]; ok {
+		delete(q.streaks, no)
+		q.streakN.Store(int64(len(q.streaks)))
+	}
+	q.mu.Unlock()
+}

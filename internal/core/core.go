@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/buffer"
@@ -75,6 +76,9 @@ type Config struct {
 	// Retry bounds transient-I/O retries in every buffer pool the DB
 	// opens. The zero value means buffer.DefaultRetryPolicy.
 	Retry buffer.RetryPolicy
+	// Supervisor configures the background repair supervisor and the
+	// quarantine backoff knobs applied to every pool the DB opens.
+	Supervisor SupervisorConfig
 	// Obs, when non-nil, receives recovery events and metrics from every
 	// index and buffer pool the DB opens. A nil recorder costs one
 	// pointer check per instrumented site.
@@ -102,6 +106,8 @@ func (db *DB) IOStats() buffer.IOStats {
 		total.Retries += s.Retries
 		total.ChecksumFailures += s.ChecksumFailures
 		total.TornPagesRepaired += s.TornPagesRepaired
+		total.RetriesExhausted += s.RetriesExhausted
+		total.Quarantined += s.Quarantined
 	}
 	for _, ix := range db.indexes {
 		add(ix.t.Pool().IOStats())
@@ -179,6 +185,44 @@ func MemoryDisks(s Storage) map[string]*storage.MemDisk {
 	return nil
 }
 
+type faultMemStorage struct {
+	mu    sync.Mutex
+	cfg   storage.FaultConfig
+	disks map[string]*storage.FaultDisk
+}
+
+func (m *faultMemStorage) open(name string) (storage.Disk, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d, ok := m.disks[name]; ok {
+		return d, nil
+	}
+	d, err := storage.NewFaultDisk(storage.NewMemDisk(), m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.disks[name] = d
+	return d, nil
+}
+
+// FaultyMemory returns in-memory storage whose files sit behind a
+// fault-injecting disk layer — the substrate for degraded-mode and
+// supervisor experiments. Files persist across DB reopens of the same
+// Storage value.
+func FaultyMemory(cfg storage.FaultConfig) Storage {
+	return &faultMemStorage{cfg: cfg, disks: make(map[string]*storage.FaultDisk)}
+}
+
+// FaultDisks exposes the underlying FaultDisks of a FaultyMemory() storage
+// for fault scheduling in tests and experiments; it returns nil for other
+// storage kinds.
+func FaultDisks(s Storage) map[string]*storage.FaultDisk {
+	if m, ok := s.(*faultMemStorage); ok {
+		return m.disks
+	}
+	return nil
+}
+
 type dirStorage struct{ dir string }
 
 func (d dirStorage) open(name string) (storage.Disk, error) {
@@ -199,6 +243,13 @@ type DB struct {
 	mu      sync.Mutex
 	rels    map[string]*Relation
 	indexes map[string]*Index
+
+	// Health-state machine (health.go) and repair supervisor
+	// (supervisor.go).
+	health      atomic.Int32 // HealthState
+	healthDirty atomic.Bool
+	super       *supervisor
+	healSources map[string]healSource // index name -> heap rebuild source
 }
 
 // Open opens (creating as needed) a database on the given storage.
@@ -211,13 +262,18 @@ func Open(store Storage, cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{
-		cfg:     cfg,
-		store:   store,
-		mgr:     mgr,
-		rels:    make(map[string]*Relation),
-		indexes: make(map[string]*Index),
-	}, nil
+	db := &DB{
+		cfg:         cfg,
+		store:       store,
+		mgr:         mgr,
+		rels:        make(map[string]*Relation),
+		indexes:     make(map[string]*Index),
+		healSources: make(map[string]healSource),
+	}
+	if cfg.Supervisor.Enable {
+		db.startSupervisor()
+	}
+	return db, nil
 }
 
 // Begin starts a transaction.
@@ -245,6 +301,7 @@ func (db *DB) CreateRelation(name string) (*Relation, error) {
 		r.Pool().SetRetryPolicy(db.cfg.Retry)
 	}
 	r.Pool().SetObs(db.cfg.Obs)
+	db.attachHealth(r.Pool())
 	rel := &Relation{db: db, name: name, h: r}
 	db.rels[name] = rel
 	return rel, nil
@@ -275,6 +332,7 @@ func (db *DB) CreateIndex(name string, v Variant) (*Index, error) {
 	if db.cfg.Retry != (buffer.RetryPolicy{}) {
 		t.Pool().SetRetryPolicy(db.cfg.Retry)
 	}
+	db.attachHealth(t.Pool())
 	ix := &Index{db: db, name: name, t: t}
 	db.indexes[name] = ix
 	return ix, nil
@@ -283,6 +341,7 @@ func (db *DB) CreateIndex(name string, v Variant) (*Index, error) {
 // Close cleanly shuts down every file (persisting freelists and counter
 // state). Skipping Close models a crash; the next Open recovers.
 func (db *DB) Close() error {
+	db.stopSupervisor()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	var firstErr error
@@ -330,6 +389,9 @@ func (r *Relation) Heap() *heap.Relation { return r.h }
 
 // Insert writes a tuple version owned by the transaction.
 func (r *Relation) Insert(t *Txn, data []byte) (heap.TID, error) {
+	if err := r.db.writable(); err != nil {
+		return heap.TID{}, err
+	}
 	t.tx.Touch(r.h)
 	return r.h.Insert(t.XID(), data)
 }
@@ -337,18 +399,27 @@ func (r *Relation) Insert(t *Txn, data []byte) (heap.TID, error) {
 // Delete stamps the version's xmax; the version stays for historical reads
 // until the vacuum reclaims it.
 func (r *Relation) Delete(t *Txn, tid heap.TID) error {
+	if err := r.db.writable(); err != nil {
+		return err
+	}
 	t.tx.Touch(r.h)
 	return r.h.Delete(tid, t.XID())
 }
 
 // Update writes a new version and invalidates the old one.
 func (r *Relation) Update(t *Txn, tid heap.TID, data []byte) (heap.TID, error) {
+	if err := r.db.writable(); err != nil {
+		return heap.TID{}, err
+	}
 	t.tx.Touch(r.h)
 	return r.h.Update(tid, t.XID(), data)
 }
 
 // Fetch returns the tuple if visible to current committed state.
 func (r *Relation) Fetch(tid heap.TID) ([]byte, error) {
+	if err := r.db.readable(); err != nil {
+		return nil, err
+	}
 	return r.h.Fetch(tid, r.db.mgr)
 }
 
@@ -375,12 +446,20 @@ func (ix *Index) Tree() *btree.Tree { return ix.t }
 // must be made unique by the caller (POSTGRES appends the object ID, §2);
 // MakeUnique does that.
 func (ix *Index) InsertTID(t *Txn, key []byte, tid heap.TID) error {
+	if err := ix.db.writable(); err != nil {
+		return err
+	}
 	t.tx.Touch(ix.t)
 	return ix.t.Insert(key, tid.Bytes())
 }
 
-// LookupTID resolves a key to the TID it indexes.
+// LookupTID resolves a key to the TID it indexes. While degraded, a key
+// inside a quarantined range fails with an error unwrapping to
+// ErrQuarantined rather than a wrong answer.
 func (ix *Index) LookupTID(key []byte) (heap.TID, error) {
+	if err := ix.db.readable(); err != nil {
+		return heap.TID{}, err
+	}
 	v, err := ix.t.Lookup(key)
 	if err != nil {
 		return heap.TID{}, err
@@ -405,7 +484,27 @@ func (ix *Index) FetchVisible(rel *Relation, key []byte) ([]byte, error) {
 
 // Scan visits index entries in [start, end) in key order.
 func (ix *Index) Scan(start, end []byte, fn func(key []byte, tid heap.TID) bool) error {
+	if err := ix.db.readable(); err != nil {
+		return err
+	}
 	return ix.t.Scan(start, end, func(k, v []byte) bool {
+		tid, err := heap.ParseTID(v)
+		if err != nil {
+			return false
+		}
+		return fn(k, tid)
+	})
+}
+
+// ScanDegraded visits index entries in [start, end) like Scan, but steps
+// over quarantined subtrees instead of failing, reporting each skipped key
+// range: every entry it does emit is correct (skip-and-report, never
+// wrong-and-silent).
+func (ix *Index) ScanDegraded(start, end []byte, fn func(key []byte, tid heap.TID) bool) (btree.ScanReport, error) {
+	if err := ix.db.readable(); err != nil {
+		return btree.ScanReport{}, err
+	}
+	return ix.t.ScanDegraded(start, end, func(k, v []byte) bool {
 		tid, err := heap.ParseTID(v)
 		if err != nil {
 			return false

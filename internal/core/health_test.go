@@ -1,0 +1,384 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/heap"
+	"repro/internal/obs"
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+func healthKey(i int) []byte {
+	k := make([]byte, 4)
+	binary.BigEndian.PutUint32(k, uint32(i))
+	return k
+}
+
+// buildFaultyDB opens a DB on fault-injectable memory storage and commits n
+// keys through a relation + shadow index pair (tuple data = index key).
+func buildFaultyDB(t *testing.T, rec *obs.Recorder, n int) (*DB, Storage, *Relation, *Index, []heap.TID) {
+	t.Helper()
+	st := FaultyMemory(storage.FaultConfig{})
+	db, err := Open(st, Config{
+		Variant: Shadow,
+		Obs:     rec,
+		Supervisor: SupervisorConfig{
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  20 * time.Millisecond,
+			GiveUpAfter: 50,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := db.CreateRelation("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := db.CreateIndex("acct_pk", Shadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	tids := make([]heap.TID, n)
+	for i := 0; i < n; i++ {
+		tid, err := rel.Insert(tx, healthKey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.InsertTID(tx, healthKey(i), tid); err != nil {
+			t.Fatal(err)
+		}
+		tids[i] = tid
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return db, st, rel, ix, tids
+}
+
+// liveLeaves walks the index file's durable image from the root named by
+// the meta page and returns up to max reachable leaf page numbers. In a
+// fully synced shadow tree every internal item carries prev == 0, so
+// damaging a live leaf is immediately unrecoverable from the index alone —
+// the first descent must quarantine it.
+func liveLeaves(t *testing.T, d storage.Disk, max int) []storage.PageNo {
+	t.Helper()
+	buf := page.New()
+	if err := d.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	root := storage.PageNo(binary.LittleEndian.Uint32(buf[page.HeaderSize+4:]))
+	queue := []storage.PageNo{root}
+	seen := map[storage.PageNo]bool{root: true}
+	var leaves []storage.PageNo
+	for len(queue) > 0 && len(leaves) < max {
+		no := queue[0]
+		queue = queue[1:]
+		if err := d.ReadPage(no, buf); err != nil || !buf.Valid() {
+			t.Fatalf("live page %d unreadable during the root walk", no)
+		}
+		switch buf.Type() {
+		case page.TypeLeaf:
+			leaves = append(leaves, no)
+		case page.TypeInternal:
+			for i := 0; i < buf.NKeys(); i++ {
+				item := buf.Item(i)
+				k := int(item[0]) | int(item[1])<<8 // item layout: klen, sep, child, prev
+				child := storage.PageNo(binary.LittleEndian.Uint32(item[2+k:]))
+				if child != 0 && !seen[child] {
+					seen[child] = true
+					queue = append(queue, child)
+				}
+			}
+		}
+	}
+	return leaves
+}
+
+// TestHealthDegradedServesAndSupervisorHeals is the acceptance scenario:
+// K unrecoverable sector pairs drive the DB Healthy -> Degraded; every
+// non-quarantined key keeps being served correctly (scans skip-and-report,
+// point reads fail typed); the supervisor's repair attempts fail while the
+// faults persist and return the DB to Healthy once they clear — all of it
+// attested by counters.
+func TestHealthDegradedServesAndSupervisorHeals(t *testing.T) {
+	const n = 1500
+	rec := obs.New(obs.DefaultRingCap)
+	db, st, rel, ix, tids := buildFaultyDB(t, rec, n)
+	defer db.Close()
+
+	if got := db.Health(); got != Healthy {
+		t.Fatalf("fresh DB health = %v, want Healthy", got)
+	}
+
+	fd := FaultDisks(st)["idx_acct_pk"]
+	if fd == nil {
+		t.Fatal("no fault disk for the index")
+	}
+	leaves := liveLeaves(t, fd, 2)
+	if len(leaves) == 0 {
+		t.Fatal("no live leaves found — scenario is vacuous")
+	}
+	for _, no := range leaves {
+		fd.AddPermanentBadSector(no)
+	}
+	ix.Tree().Pool().InvalidateAll()
+
+	// Degraded scan: every emitted key must be correct, every committed key
+	// accounted for as served or reported-skipped.
+	emitted := make(map[int]bool)
+	rep, err := ix.ScanDegraded(nil, nil, func(k []byte, tid heap.TID) bool {
+		i := int(binary.BigEndian.Uint32(k))
+		if tid != tids[i] {
+			t.Fatalf("degraded scan returned wrong TID for key %d", i)
+		}
+		emitted[i] = true
+		return true
+	})
+	if err != nil {
+		t.Fatalf("ScanDegraded: %v", err)
+	}
+	if rep.Complete() {
+		t.Fatal("scan over quarantined leaves must report skipped ranges")
+	}
+	inSkipped := func(key []byte) bool {
+		for _, s := range rep.Skipped {
+			if bytes.Compare(key, s.Lo) >= 0 && (s.Hi == nil || bytes.Compare(key, s.Hi) < 0) {
+				return true
+			}
+		}
+		return false
+	}
+	skipped := 0
+	for i := 0; i < n; i++ {
+		switch {
+		case emitted[i]:
+			data, err := rel.Fetch(tids[i])
+			if err != nil || !bytes.Equal(data, healthKey(i)) {
+				t.Fatalf("served key %d fetches wrong: %q, %v", i, data, err)
+			}
+		case inSkipped(healthKey(i)):
+			skipped++
+		default:
+			t.Fatalf("key %d neither served nor reported skipped", i)
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("no committed key in the quarantined ranges — scenario is vacuous")
+	}
+
+	// Health machine + typed point reads.
+	if got := db.Health(); got != Degraded {
+		t.Fatalf("health with quarantined leaves = %v, want Degraded", got)
+	}
+	if rec.Get(obs.QuarantinePage) == 0 || rec.Get(obs.HealthTransition) == 0 {
+		t.Fatal("quarantine/health counters not bumped")
+	}
+	for i := 0; i < n; i++ {
+		if !emitted[i] {
+			if _, err := ix.LookupTID(healthKey(i)); !errors.Is(err, ErrQuarantined) {
+				t.Fatalf("LookupTID(%d) in quarantined range: %v, want ErrQuarantined", i, err)
+			}
+			break
+		}
+	}
+
+	// Supervisor with the faults still present: attempts fail, DB stays
+	// Degraded.
+	db.SuperviseOnce()
+	if rec.Get(obs.SupervisorFail) == 0 {
+		t.Fatal("supervisor.fail not counted while faults persist")
+	}
+	if got := db.Health(); got != Degraded {
+		t.Fatalf("health after failed supervision = %v, want Degraded", got)
+	}
+
+	// Faults clear; the supervisor heals everything and promotes the DB.
+	for _, no := range leaves {
+		if !fd.ClearBadSector(no) {
+			t.Fatalf("bad sector %d was not registered", no)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for db.Health() != Healthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("DB never returned to Healthy; report: %+v", db.HealthReport())
+		}
+		time.Sleep(5 * time.Millisecond) // let the per-page backoff pass
+		db.SuperviseOnce()
+	}
+	if rec.Get(obs.SupervisorRepair) == 0 {
+		t.Fatal("supervisor.repair not counted after heal")
+	}
+	for i := 0; i < n; i++ {
+		data, err := ix.FetchVisible(rel, healthKey(i))
+		if err != nil || !bytes.Equal(data, healthKey(i)) {
+			t.Fatalf("key %d after heal: %q, %v", i, data, err)
+		}
+	}
+}
+
+// TestHealthReadOnlyAndFailed: a critical (meta/root) quarantine withdraws
+// write service; an exhausted critical repair budget fails the DB.
+func TestHealthReadOnlyAndFailed(t *testing.T) {
+	rec := obs.New(64)
+	db, _, rel, ix, tids := buildFaultyDB(t, rec, 50)
+	defer db.Close()
+
+	p := ix.Tree().Pool()
+	p.QuarantinePage(0, "test: meta damage", true)
+	if got := db.Health(); got != ReadOnly {
+		t.Fatalf("health with critical quarantine = %v, want ReadOnly", got)
+	}
+	tx := db.Begin()
+	if _, err := rel.Insert(tx, []byte("x")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Insert while ReadOnly: %v, want ErrReadOnly", err)
+	}
+	if err := ix.InsertTID(tx, []byte("x"), tids[0]); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("InsertTID while ReadOnly: %v, want ErrReadOnly", err)
+	}
+	// Reads continue (the heap and the rest of the index are intact).
+	if _, err := rel.Fetch(tids[0]); err != nil {
+		t.Fatalf("Fetch while ReadOnly: %v", err)
+	}
+	_ = tx.Abort()
+
+	// Burn the critical page's repair budget: the DB fails closed.
+	q := p.Quarantine()
+	q.GiveUpAfter = 1
+	q.MarkAttempt(0)
+	if got := db.Health(); got != Failed {
+		t.Fatalf("health after critical give-up = %v, want Failed", got)
+	}
+	if _, err := rel.Fetch(tids[0]); !errors.Is(err, ErrFailed) {
+		t.Fatalf("Fetch while Failed: %v, want ErrFailed", err)
+	}
+	if _, err := ix.LookupTID(healthKey(0)); !errors.Is(err, ErrFailed) {
+		t.Fatalf("LookupTID while Failed: %v, want ErrFailed", err)
+	}
+
+	// Releasing the quarantine restores full service.
+	p.ReleaseQuarantine(0)
+	if got := db.Health(); got != Healthy {
+		t.Fatalf("health after release = %v, want Healthy", got)
+	}
+	if _, err := rel.Fetch(tids[0]); err != nil {
+		t.Fatalf("Fetch after release: %v", err)
+	}
+	rep := db.HealthReport()
+	if rep.State != "healthy" || len(rep.Quarantined) != 0 {
+		t.Fatalf("health report after release: %+v", rep)
+	}
+}
+
+// TestSupervisorGoroutineHealsHeapPage: the background goroutine (not a
+// manual SuperviseOnce) re-probes a quarantined heap page whose durable
+// image is intact and releases it, promoting the DB back to Healthy.
+func TestSupervisorGoroutineHealsHeapPage(t *testing.T) {
+	rec := obs.New(64)
+	st := FaultyMemory(storage.FaultConfig{})
+	db, err := Open(st, Config{
+		Variant: Shadow,
+		Obs:     rec,
+		Supervisor: SupervisorConfig{
+			Enable:      true,
+			Interval:    2 * time.Millisecond,
+			BaseBackoff: time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rel, err := db.CreateRelation("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if _, err := rel.Insert(tx, []byte("row")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Quarantine a heap page whose durable image is fine: the supervisor's
+	// probe must notice and release it.
+	rel.Heap().Pool().QuarantinePage(1, "test: spurious quarantine", false)
+	if got := db.Health(); got != Degraded {
+		t.Fatalf("health = %v, want Degraded", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for db.Health() != Healthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("supervisor never healed the heap page; report: %+v", db.HealthReport())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if rec.Get(obs.SupervisorRepair) == 0 {
+		t.Fatal("supervisor.repair not counted")
+	}
+}
+
+// TestSupervisorRebuildsFromHeap: when the index's durable source is truly
+// gone (stable corruption of both a leaf and its prevPtr), the supervisor
+// abandons the page after RebuildAfter failed heals and re-seeds its key
+// range from the heap relation — the authoritative copy.
+func TestSupervisorRebuildsFromHeap(t *testing.T) {
+	const n = 1500
+	rec := obs.New(obs.DefaultRingCap)
+	db, st, rel, ix, _ := buildFaultyDB(t, rec, n)
+	defer db.Close()
+	db.cfg.Supervisor.RebuildAfter = 1
+	db.RegisterHeal(ix, rel, func(data []byte) []byte { return data })
+
+	fd := FaultDisks(st)["idx_acct_pk"]
+	leaves := liveLeaves(t, fd, 1)
+	if len(leaves) == 0 {
+		t.Fatal("no live leaf found")
+	}
+	if !fd.CorruptStable(leaves[0], func(img page.Page) { img[page.HeaderSize] ^= 0xFF }) {
+		t.Fatalf("no durable image to corrupt at page %d", leaves[0])
+	}
+	ix.Tree().Pool().InvalidateAll()
+
+	// First touch quarantines the subtree.
+	rep, err := ix.ScanDegraded(nil, nil, func([]byte, heap.TID) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete() {
+		t.Fatal("stable corruption did not quarantine anything — scenario is vacuous")
+	}
+	if got := db.Health(); got != Degraded {
+		t.Fatalf("health = %v, want Degraded", got)
+	}
+
+	// Attempt 1 fails (corruption persists); the next sweep crosses
+	// RebuildAfter and rebuilds from the heap.
+	deadline := time.Now().Add(10 * time.Second)
+	for db.Health() != Healthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("rebuild never completed; report: %+v", db.HealthReport())
+		}
+		time.Sleep(5 * time.Millisecond)
+		db.SuperviseOnce()
+	}
+	if rec.Get(obs.RepairRebuild) == 0 {
+		t.Fatal("repair.rebuild not counted")
+	}
+
+	// The whole key space is back, re-seeded from the heap.
+	for i := 0; i < n; i++ {
+		data, err := ix.FetchVisible(rel, healthKey(i))
+		if err != nil || !bytes.Equal(data, healthKey(i)) {
+			t.Fatalf("key %d after rebuild: %q, %v", i, data, err)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/heap"
+	"repro/internal/obs"
+	"repro/internal/vacuum"
+)
+
+// The background repair supervisor. Quarantining a page (degraded.go in
+// internal/btree) keeps the foreground fast — a lookup that runs into an
+// unrecoverable page fails typed in microseconds instead of retrying the
+// repair inline. The supervisor owns the slow path: it periodically drains
+// each pool's quarantine registry, re-runs the §3.3/§3.4 repair machinery
+// off the caller's latency path with exponential backoff between attempts,
+// and — for index pages whose durable source is truly gone — abandons the
+// page and re-seeds its key range from the heap relation, which the
+// no-overwrite storage system keeps as the authoritative copy (§2). Each
+// successful heal shrinks the registry, and the lazy health recompute
+// promotes the DB back toward Healthy.
+
+// SupervisorConfig configures the background repair supervisor.
+type SupervisorConfig struct {
+	// Enable starts the supervisor goroutine in Open.
+	Enable bool
+	// Interval between quarantine sweeps. Zero means 25ms.
+	Interval time.Duration
+	// BaseBackoff/MaxBackoff bound the exponential delay between repair
+	// attempts on the same page. Zero keeps the registry defaults.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// GiveUpAfter is the per-page repair attempt budget; once spent the
+	// page is marked GaveUp and, if critical, the DB goes Failed. Zero
+	// keeps the registry default.
+	GiveUpAfter int
+	// RebuildAfter is the attempt count after which an index page with a
+	// registered heal source (RegisterHeal) is abandoned and its key range
+	// rebuilt from the heap relation instead of repaired from index state.
+	// Zero disables heap rebuilds.
+	RebuildAfter int
+}
+
+const defaultSupervisorInterval = 25 * time.Millisecond
+
+// healSource ties an index to the relation that can re-seed it.
+type healSource struct {
+	rel   *Relation
+	keyOf vacuum.KeyOf
+}
+
+type supervisor struct {
+	db   *DB
+	stop chan struct{}
+	done chan struct{}
+}
+
+// RegisterHeal tells the supervisor that ix is derived from rel: keyOf
+// extracts the indexed key from tuple data (the same contract as the
+// vacuum). With a heal source registered, quarantined pages of ix whose
+// repair keeps failing are abandoned after SupervisorConfig.RebuildAfter
+// attempts and their key range re-inserted from the heap.
+func (db *DB) RegisterHeal(ix *Index, rel *Relation, keyOf vacuum.KeyOf) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.healSources[ix.name] = healSource{rel: rel, keyOf: keyOf}
+}
+
+// startSupervisor launches the sweep loop; idempotent.
+func (db *DB) startSupervisor() {
+	if db.super != nil {
+		return
+	}
+	s := &supervisor{db: db, stop: make(chan struct{}), done: make(chan struct{})}
+	db.super = s
+	go s.run()
+}
+
+// stopSupervisor halts the sweep loop and waits for an in-flight sweep to
+// finish; must run before the pools are closed.
+func (db *DB) stopSupervisor() {
+	if db.super == nil {
+		return
+	}
+	close(db.super.stop)
+	<-db.super.done
+	db.super = nil
+}
+
+func (s *supervisor) run() {
+	defer close(s.done)
+	interval := s.db.cfg.Supervisor.Interval
+	if interval <= 0 {
+		interval = defaultSupervisorInterval
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.db.SuperviseOnce()
+		}
+	}
+}
+
+// SuperviseOnce runs one supervisor sweep synchronously: every quarantined
+// page whose backoff deadline has passed gets one repair attempt. Exposed
+// so tests and tools can drive the supervisor without the timer.
+func (db *DB) SuperviseOnce() {
+	now := time.Now()
+	db.mu.Lock()
+	indexes := make([]*Index, 0, len(db.indexes))
+	for _, ix := range db.indexes {
+		indexes = append(indexes, ix)
+	}
+	rels := make([]*Relation, 0, len(db.rels))
+	for _, r := range db.rels {
+		rels = append(rels, r)
+	}
+	db.mu.Unlock()
+
+	for _, ix := range indexes {
+		db.superviseIndex(ix, now)
+	}
+	for _, r := range rels {
+		db.superviseRelation(r, now)
+	}
+	// Recompute even when nothing was due: heals mark the state dirty, and
+	// the periodic read keeps Health() transitions flowing to the recorder.
+	db.markHealthDirty()
+	db.Health()
+}
+
+// superviseIndex attempts one repair per due quarantined page of ix.
+func (db *DB) superviseIndex(ix *Index, now time.Time) {
+	q := ix.t.Pool().Quarantine()
+	for _, e := range q.Due(now) {
+		var err error
+		rebuild := false
+		db.mu.Lock()
+		src, hasSrc := db.healSources[ix.name]
+		db.mu.Unlock()
+		if hasSrc && db.cfg.Supervisor.RebuildAfter > 0 &&
+			e.Attempts >= db.cfg.Supervisor.RebuildAfter {
+			rebuild = true
+			err = db.rebuildFromHeap(ix, src, e)
+		} else {
+			err = ix.t.HealQuarantined(e.PageNo, e.Lo)
+		}
+		if err != nil {
+			q.MarkAttempt(e.PageNo)
+			db.cfg.Obs.Count(obs.SupervisorFail)
+			db.cfg.Obs.Eventf(obs.SupervisorFail, e.PageNo,
+				"supervisor repair attempt %d failed: %v", e.Attempts+1, err)
+			continue
+		}
+		db.cfg.Obs.Count(obs.SupervisorRepair)
+		if rebuild {
+			db.cfg.Obs.Eventf(obs.SupervisorRepair, e.PageNo,
+				"supervisor rebuilt page from heap after %d attempts", e.Attempts)
+		} else {
+			db.cfg.Obs.Eventf(obs.SupervisorRepair, e.PageNo,
+				"supervisor healed page after %d attempts", e.Attempts)
+		}
+	}
+}
+
+// superviseRelation re-probes quarantined heap pages: a heap page enters
+// quarantine only via the pool's zero-route streak (no index repair exists
+// for it), so the heal is simply "does the durable image read clean now".
+func (db *DB) superviseRelation(r *Relation, now time.Time) {
+	p := r.h.Pool()
+	q := p.Quarantine()
+	for _, e := range q.Due(now) {
+		if p.ProbeDurable(e.PageNo) {
+			p.ReleaseQuarantine(e.PageNo)
+			db.cfg.Obs.Count(obs.SupervisorRepair)
+			db.cfg.Obs.Eventf(obs.SupervisorRepair, e.PageNo,
+				"supervisor released heap page, durable image reads clean")
+			continue
+		}
+		q.MarkAttempt(e.PageNo)
+		db.cfg.Obs.Count(obs.SupervisorFail)
+		db.cfg.Obs.Eventf(obs.SupervisorFail, e.PageNo,
+			"supervisor probe attempt %d: heap page still unreadable", e.Attempts+1)
+	}
+}
+
+// rebuildFromHeap abandons quarantined index page e (initializing it empty
+// via the rebuild fallback) and re-inserts its key range from the heap
+// relation. Only tuple versions visible to current committed state are
+// re-indexed; keys already present elsewhere in the tree are skipped.
+func (db *DB) rebuildFromHeap(ix *Index, src healSource, e buffer.QuarantinedPage) error {
+	if err := ix.t.AbandonQuarantined(e.PageNo, e.Lo); err != nil {
+		return err
+	}
+	var scanErr error
+	err := src.rel.h.ScanAll(func(tid heap.TID, xmin, xmax heap.XID, data []byte) bool {
+		if _, err := src.rel.h.Fetch(tid, db.mgr); err != nil {
+			return true // dead or invisible version; the index must not resurrect it
+		}
+		key := src.keyOf(data)
+		if key == nil {
+			return true
+		}
+		if e.HasRange {
+			if bytes.Compare(key, e.Lo) < 0 {
+				return true
+			}
+			if e.Hi != nil && bytes.Compare(key, e.Hi) >= 0 {
+				return true
+			}
+		}
+		if err := ix.t.Insert(key, tid.Bytes()); err != nil &&
+			!errors.Is(err, btree.ErrDuplicateKey) {
+			scanErr = err
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+	return ix.t.Sync()
+}

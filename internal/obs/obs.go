@@ -74,6 +74,16 @@ const (
 	InjectTorn
 	InjectBadSector
 
+	// Degraded mode: quarantine, health, and the repair supervisor.
+	RetryExhausted    // bounded I/O retry loop gave up on a sector
+	QuarantinePage    // page quarantined after repair could not produce a sane image
+	QuarantineRelease // page left quarantine (healed, superseded, or abandoned)
+	ScanSkip          // range scan skipped a quarantined subtree (skip-and-report)
+	SupervisorRepair  // background supervisor healed a quarantined page
+	SupervisorFail    // background supervisor attempt failed; entry re-queued
+	RepairRebuild     // leaf abandoned and rebuilt from the heap relation
+	HealthTransition  // DB health-state machine changed state
+
 	numMetrics
 )
 
@@ -110,6 +120,14 @@ var metricNames = [numMetrics]string{
 	InjectBitRot:     "inject.bitrot",
 	InjectTorn:       "inject.torn",
 	InjectBadSector:  "inject.badsector",
+	RetryExhausted:    "retry.exhausted",
+	QuarantinePage:    "quarantine.page",
+	QuarantineRelease: "quarantine.release",
+	ScanSkip:          "scan.skip",
+	SupervisorRepair:  "supervisor.repair",
+	SupervisorFail:    "supervisor.fail",
+	RepairRebuild:     "repair.rebuild",
+	HealthTransition:  "health.transition",
 }
 
 func (m Metric) String() string {

@@ -92,6 +92,9 @@ type FaultDisk struct {
 	// contents. Used by TearFresh.
 	everDurable map[PageNo]bool
 	badSectors  map[PageNo]bool
+	// permBad marks bad sectors that survive Sync (media damage the device
+	// cannot remap); see AddPermanentBadSector.
+	permBad map[PageNo]bool
 	nPages      PageNo // logical size including pending-only pages
 	// runRead/runWrite count consecutive transient failures per location,
 	// enforcing MaxTransientRun.
@@ -123,6 +126,7 @@ func NewFaultDisk(inner Disk, cfg FaultConfig) (*FaultDisk, error) {
 		pending:     make(map[PageNo][]byte),
 		everDurable: make(map[PageNo]bool),
 		badSectors:  make(map[PageNo]bool),
+		permBad:     make(map[PageNo]bool),
 		runRead:     make(map[PageNo]int),
 		runWrite:    make(map[PageNo]int),
 		nPages:      inner.NumPages(),
@@ -156,6 +160,31 @@ func (d *FaultDisk) AddBadSector(no PageNo) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.badSectors[no] = true
+}
+
+// AddPermanentBadSector marks page no unreadable like AddBadSector, but the
+// sector survives Sync: no rewrite remaps it. This models media damage the
+// device cannot route around — the scenario that forces the quarantine and
+// degraded-mode machinery rather than a transient repair. Cleared only by
+// ClearBadSector.
+func (d *FaultDisk) AddPermanentBadSector(no PageNo) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.badSectors[no] = true
+	d.permBad[no] = true
+}
+
+// ClearBadSector removes any bad-sector marking (transient or permanent)
+// from page no, reporting whether one was present. Tests use it to model
+// the fault clearing (e.g. a device firmware remap) so the repair
+// supervisor can heal the page.
+func (d *FaultDisk) ClearBadSector(no PageNo) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.badSectors[no]
+	delete(d.badSectors, no)
+	delete(d.permBad, no)
+	return ok
 }
 
 // CorruptStable mutates the durable image of page no on the inner disk, for
@@ -265,7 +294,9 @@ func (d *FaultDisk) Sync() error {
 			return err
 		}
 		d.everDurable[no] = true
-		delete(d.badSectors, no) // a fresh durable write remaps the sector
+		if !d.permBad[no] {
+			delete(d.badSectors, no) // a fresh durable write remaps the sector
+		}
 	}
 	d.pending = make(map[PageNo][]byte)
 	return d.inner.Sync()
