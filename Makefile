@@ -1,13 +1,15 @@
 # Single entry point for the repo's checks. `make check` is the whole CI:
 # vet + build + tier-1 tests + the race-enabled suite + the repair-case
 # coverage gate + the degraded-mode/quarantine gate + nested-fault crash
-# rounds + a one-iteration smoke of the parallel benchmarks.
+# rounds + a one-iteration smoke of the parallel benchmarks + the serving
+# layer smoke (full protocol over TCP, crash-recover round, group-commit
+# batching under concurrent clients).
 
 GO ?= go
 
-.PHONY: check vet build test test-short race repair-coverage quarantine nested-faults bench bench-smoke bench-parallel
+.PHONY: check vet build test test-short race repair-coverage quarantine nested-faults bench bench-smoke bench-parallel server-smoke bench-server
 
-check: vet build test race repair-coverage quarantine nested-faults bench-smoke
+check: vet build test race repair-coverage quarantine nested-faults bench-smoke server-smoke
 
 vet:
 	$(GO) vet ./...
@@ -64,3 +66,17 @@ bench:
 # The §3.6 scaling sweep behind BENCH_concurrency.json (see EXPERIMENTS.md).
 bench-parallel:
 	$(GO) run ./cmd/fastrec-bench -procs 1,2,4,8 -json
+
+# The serving-layer gate: every protocol verb over real TCP, graceful
+# shutdown draining an in-flight commit, the wire-level crash-recover
+# round, and concurrent clients actually coalescing in the group-commit
+# coordinator — all under the race detector, plus the coordinator's own
+# crash-semantics tests (batch invisibility on a crash between the shared
+# sync and the status write).
+server-smoke:
+	$(GO) test -race ./internal/server
+	$(GO) test -race ./internal/txn -run 'TestGroupCommit|TestBatch|TestSpill|TestCommitForceFailure|TestStatusAppend'
+
+# The commit-throughput sweep behind BENCH_server.json (see EXPERIMENTS.md).
+bench-server:
+	$(GO) run ./cmd/fastrec-bench -server -clients 1,2,4,8 -json

@@ -75,8 +75,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -op %q (want insert, lookup, both, or mixed)\n", *op)
 		os.Exit(2)
 	}
-	if *jsonOut && *procs == "" {
-		fmt.Fprintln(os.Stderr, "-json requires -procs")
+	if *jsonOut && *procs == "" && !*serverBench {
+		fmt.Fprintln(os.Stderr, "-json requires -procs or -server")
 		os.Exit(2)
 	}
 	if *obsHTTP != "" {
@@ -93,6 +93,24 @@ func main() {
 			}
 		}()
 		fmt.Fprintf(os.Stderr, "obs: serving expvar metrics at http://%s/debug/vars\n", *obsHTTP)
+	}
+
+	if *serverBench {
+		var cs []int
+		for _, f := range splitComma(*clientsList) {
+			var c int
+			if _, err := fmt.Sscanf(f, "%d", &c); err != nil || c <= 0 || c > 256 {
+				fmt.Fprintf(os.Stderr, "bad -clients entry %q (want 1..256)\n", f)
+				os.Exit(2)
+			}
+			cs = append(cs, c)
+		}
+		if len(cs) == 0 {
+			fmt.Fprintln(os.Stderr, "-clients is empty")
+			os.Exit(2)
+		}
+		runServerBench(cs)
+		return
 	}
 
 	variants := []btree.Variant{btree.Normal, btree.Reorg, btree.Shadow}

@@ -1,0 +1,228 @@
+package main
+
+// Server throughput benchmark (-server): committed-transactions/sec as a
+// function of concurrent client connections, group commit vs a
+// per-transaction-sync baseline, on a simulated 100µs/page device.
+//
+// Each cell starts a fresh in-process fastrec server over in-memory
+// storage, injects the device latency, and drives C TCP clients doing
+// autocommit PUTs into disjoint keyspaces. Every PUT round trip IS a
+// commit (force + status-table append), so the client-observed round-trip
+// time is the commit latency and the aggregate completion rate is the
+// committed-transactions/sec the paper's §2 discipline can sustain. The
+// "pertxn" mode disables batching in the group-commit coordinator — every
+// transaction pays its own device sync and status write, the classic
+// commit bottleneck — while "group" lets concurrent committers share one
+// unordered sync and one status append per batch.
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+var (
+	serverBench = flag.Bool("server", false, "run the serving-layer commit throughput benchmark (group vs per-txn sync)")
+	clientsList = flag.String("clients", "1,2,4,8", "comma-separated concurrent client counts for -server")
+	commits     = flag.Int("commits", 200, "autocommit PUTs per client per -server cell")
+)
+
+type serverCell struct {
+	Mode       string  `json:"mode"` // "group" or "pertxn"
+	Clients    int     `json:"clients"`
+	TxnsPerSec float64 `json:"txns_per_sec"`
+	P50US      int64   `json:"p50_us"` // commit latency percentiles, client-observed
+	P95US      int64   `json:"p95_us"`
+	P99US      int64   `json:"p99_us"`
+	Batches    uint64  `json:"batches"` // commit.batch over the cell
+	Txns       uint64  `json:"txns"`    // commit.txn over the cell
+}
+
+type serverReport struct {
+	IOLatUS          int64        `json:"iolat_us"`
+	CommitsPerClient int          `json:"commits_per_client"`
+	Results          []serverCell `json:"results"`
+	// GroupSpeedup is group/pertxn committed-txns/sec at the highest
+	// client count — the headline number.
+	GroupSpeedup float64 `json:"group_speedup_at_max_clients"`
+}
+
+func runServerBench(cs []int) {
+	lat := *ioLat
+	if lat == 0 {
+		lat = 100 * time.Microsecond
+	}
+	report := serverReport{IOLatUS: lat.Microseconds(), CommitsPerClient: *commits}
+
+	for _, mode := range []string{"pertxn", "group"} {
+		for _, c := range cs {
+			cell := runServerCell(mode, c, lat)
+			report.Results = append(report.Results, cell)
+			if !*jsonOut {
+				fmt.Fprintf(os.Stderr, "%-7s %2d clients: %8.0f txns/sec  p50 %6dµs  p95 %6dµs  p99 %6dµs  (%d txns in %d batches)\n",
+					mode, c, cell.TxnsPerSec, cell.P50US, cell.P95US, cell.P99US, cell.Txns, cell.Batches)
+			}
+		}
+	}
+
+	maxC := cs[len(cs)-1]
+	var g, p float64
+	for _, r := range report.Results {
+		if r.Clients == maxC {
+			if r.Mode == "group" {
+				g = r.TxnsPerSec
+			} else {
+				p = r.TxnsPerSec
+			}
+		}
+	}
+	if p > 0 {
+		report.GroupSpeedup = g / p
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("\ngroup commit speedup at %d clients: %.2fx committed-txns/sec\n", maxC, report.GroupSpeedup)
+}
+
+// runServerCell measures one (mode, clients) cell end to end over TCP.
+func runServerCell(mode string, nClients int, lat time.Duration) serverCell {
+	store := core.Memory()
+	rec := obs.New(obs.DefaultRingCap)
+	db, err := core.Open(store, core.Config{Obs: rec})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	if mode == "pertxn" {
+		db.Manager().SetBatching(false)
+	}
+	srv, err := server.New(db, server.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	// Warm up before the device latency lands: a PUT per client keyspace
+	// creates the heap/index pages so measured commits pay the device,
+	// not first-touch allocation.
+	warm := dialBench(srv.Addr().String())
+	for c := 0; c < nClients; c++ {
+		warm.put(fmt.Sprintf("c%d-warm", c), "w")
+	}
+	warm.close()
+	for _, d := range core.MemoryDisks(store) {
+		d.SetLatency(lat, lat)
+	}
+
+	txns0 := rec.Get(obs.CommitTxn)
+	batches0 := rec.Get(obs.CommitBatch)
+
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		lats  []time.Duration
+		cellE error
+	)
+	start := time.Now()
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := dialBench(srv.Addr().String())
+			defer cl.close()
+			mine := make([]time.Duration, 0, *commits)
+			for i := 0; i < *commits; i++ {
+				t0 := time.Now()
+				if err := cl.put(fmt.Sprintf("c%d-k%03d", c, i%50), fmt.Sprintf("v%d.%d", c, i)); err != nil {
+					mu.Lock()
+					if cellE == nil {
+						cellE = err
+					}
+					mu.Unlock()
+					return
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, mine...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if cellE != nil {
+		fatal(cellE)
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) int64 {
+		i := int(p * float64(len(lats)-1))
+		return lats[i].Microseconds()
+	}
+	return serverCell{
+		Mode:       mode,
+		Clients:    nClients,
+		TxnsPerSec: float64(nClients**commits) / elapsed.Seconds(),
+		P50US:      pct(0.50),
+		P95US:      pct(0.95),
+		P99US:      pct(0.99),
+		Batches:    rec.Get(obs.CommitBatch) - batches0,
+		Txns:       rec.Get(obs.CommitTxn) - txns0,
+	}
+}
+
+// benchClient is a minimal blocking protocol client.
+type benchClient struct {
+	c net.Conn
+	r *bufio.Reader
+}
+
+func dialBench(addr string) *benchClient {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	return &benchClient{c: c, r: bufio.NewReader(c)}
+}
+
+func (b *benchClient) put(key, val string) error {
+	if _, err := fmt.Fprintf(b.c, "PUT %s %s\n", key, val); err != nil {
+		return err
+	}
+	line, err := b.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if line != "OK\n" {
+		return fmt.Errorf("PUT %s: %q", key, line)
+	}
+	return nil
+}
+
+func (b *benchClient) close() { b.c.Close() }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

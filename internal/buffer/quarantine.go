@@ -10,6 +10,7 @@ package buffer
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -192,8 +193,11 @@ func (q *Quarantine) Release(no storage.PageNo) bool {
 	return true
 }
 
-// List returns a copy of every entry, ordered by page number not
-// guaranteed; callers sort if they need determinism.
+// List returns a copy of every entry, ordered by page number. The order
+// matters to heal sweeps: a quarantined page whose repair reads another
+// quarantined page (a child's prevPtr source) can only be healed after
+// that page, and ascending page order plus the supervisor's re-queue of
+// failures makes such sweeps converge deterministically.
 func (q *Quarantine) List() []QuarantinedPage {
 	q.mu.Lock()
 	out := make([]QuarantinedPage, 0, len(q.pages))
@@ -201,6 +205,7 @@ func (q *Quarantine) List() []QuarantinedPage {
 		out = append(out, *e)
 	}
 	q.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].PageNo < out[j].PageNo })
 	return out
 }
 

@@ -36,6 +36,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/buffer"
@@ -79,6 +80,10 @@ type Config struct {
 	// Supervisor configures the background repair supervisor and the
 	// quarantine backoff knobs applied to every pool the DB opens.
 	Supervisor SupervisorConfig
+	// FlushEvery, when positive, starts a background checkpoint daemon
+	// that writes dirty pages back on this interval, so commit-time
+	// forces stop paying for cold dirty pages (see flusher.go).
+	FlushEvery time.Duration
 	// Obs, when non-nil, receives recovery events and metrics from every
 	// index and buffer pool the DB opens. A nil recorder costs one
 	// pointer check per instrumented site.
@@ -249,6 +254,7 @@ type DB struct {
 	health      atomic.Int32 // HealthState
 	healthDirty atomic.Bool
 	super       *supervisor
+	flush       *flusher
 	healSources map[string]healSource // index name -> heap rebuild source
 }
 
@@ -262,6 +268,7 @@ func Open(store Storage, cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	mgr.SetObs(cfg.Obs)
 	db := &DB{
 		cfg:         cfg,
 		store:       store,
@@ -273,6 +280,7 @@ func Open(store Storage, cfg Config) (*DB, error) {
 	if cfg.Supervisor.Enable {
 		db.startSupervisor()
 	}
+	db.startFlusher()
 	return db, nil
 }
 
@@ -341,6 +349,7 @@ func (db *DB) CreateIndex(name string, v Variant) (*Index, error) {
 // Close cleanly shuts down every file (persisting freelists and counter
 // state). Skipping Close models a crash; the next Open recovers.
 func (db *DB) Close() error {
+	db.stopFlusher()
 	db.stopSupervisor()
 	db.mu.Lock()
 	defer db.mu.Unlock()

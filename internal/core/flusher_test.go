@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestFlushDaemonWritesColdDirt: pages dirtied by an in-flight transaction
+// are written back by the daemon without any commit, so the eventual
+// commit-time force finds them clean. The daemon must never touch the
+// status table: the uncommitted tuples stay invisible throughout.
+func TestFlushDaemonWritesColdDirt(t *testing.T) {
+	store := Memory()
+	rec := obs.New(64)
+	db, err := Open(store, Config{FlushEvery: time.Millisecond, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rel, err := db.CreateRelation("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx := db.Begin()
+	tid, err := rel.Insert(tx, []byte("cold"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for at least two daemon passes.
+	deadline := time.Now().Add(2 * time.Second)
+	for rec.Get(obs.FlushDaemon) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("flush daemon never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The dirty heap page reached the disk's stable store...
+	d := MemoryDisks(store)["rel_t"]
+	if len(d.PendingPages()) != 0 {
+		t.Fatalf("heap pages still buffered after daemon flush: %v", d.PendingPages())
+	}
+	// ...but the tuple is still invisible: the daemon checkpoints data,
+	// never commit status.
+	if _, err := rel.Fetch(tid); err == nil {
+		t.Fatal("uncommitted tuple visible after background flush")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rel.Fetch(tid); err != nil {
+		t.Fatalf("tuple invisible after commit: %v", err)
+	}
+}

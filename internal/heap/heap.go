@@ -127,6 +127,9 @@ func (r *Relation) Insert(xid XID, data []byte) (TID, error) {
 		if err != nil {
 			return TID{}, err
 		}
+		// r.mu orders heap writers, but the frame write latch is still
+		// required: a concurrent commit's flush reads frames under RLatch.
+		f.WLatch()
 		if f.Data.IsZeroed() {
 			f.Data.Init(page.TypeHeap, 0)
 		}
@@ -134,17 +137,21 @@ func (r *Relation) Insert(xid XID, data []byte) (TID, error) {
 			slot := f.Data.NKeys()
 			off, err := f.Data.AddItem(item)
 			if err != nil {
+				f.WUnlatch()
 				f.Unpin()
 				return TID{}, err
 			}
 			if err := f.Data.InsertSlot(slot, off); err != nil {
+				f.WUnlatch()
 				f.Unpin()
 				return TID{}, err
 			}
 			f.MarkDirty()
+			f.WUnlatch()
 			f.Unpin()
 			return TID{PageNo: no, Slot: uint16(slot)}, nil
 		}
+		f.WUnlatch()
 		f.Unpin()
 		r.lastPage = no + 1
 	}
@@ -203,6 +210,8 @@ func (r *Relation) Delete(tid TID, xid XID) error {
 		return err
 	}
 	defer f.Unpin()
+	f.WLatch()
+	defer f.WUnlatch()
 	item, err := r.itemAt(f, tid)
 	if err != nil {
 		return err
@@ -237,6 +246,8 @@ func (r *Relation) MarkDead(tid TID) error {
 		return err
 	}
 	defer f.Unpin()
+	f.WLatch()
+	defer f.WUnlatch()
 	item, err := r.itemAt(f, tid)
 	if err != nil {
 		return err
@@ -256,7 +267,10 @@ func (r *Relation) Header(tid TID) (xmin, xmax XID, err error) {
 }
 
 // ScanAll visits every tuple version in the relation (visible or not),
-// calling fn with its TID, header, and data. The vacuum uses it.
+// calling fn with its TID, header, and data. The vacuum uses it. Each
+// page's tuples are copied out under the frame's read latch before fn
+// runs, so fn may safely call back into the relation (Fetch, Delete, ...)
+// and may retain the data slice.
 func (r *Relation) ScanAll(fn func(tid TID, xmin, xmax XID, data []byte) bool) error {
 	n := r.NumPages()
 	for no := storage.PageNo(1); no < n; no++ {
@@ -264,23 +278,30 @@ func (r *Relation) ScanAll(fn func(tid TID, xmin, xmax XID, data []byte) bool) e
 		if err != nil {
 			return err
 		}
-		if !f.Data.Valid() || f.Data.Type() != page.TypeHeap {
-			f.Unpin()
-			continue
+		type itemCopy struct {
+			slot uint16
+			data []byte
 		}
-		for s := 0; s < f.Data.NKeys(); s++ {
-			item := f.Data.Item(s)
-			if item == nil || len(item) < tupleHeaderSize {
-				continue
+		var items []itemCopy
+		f.RLatch()
+		if f.Data.Valid() && f.Data.Type() == page.TypeHeap {
+			for s := 0; s < f.Data.NKeys(); s++ {
+				item := f.Data.Item(s)
+				if item == nil || len(item) < tupleHeaderSize {
+					continue
+				}
+				items = append(items, itemCopy{uint16(s), append([]byte(nil), item...)})
 			}
-			cont := fn(TID{PageNo: no, Slot: uint16(s)},
-				getXID(item[0:]), getXID(item[8:]), item[tupleHeaderSize:])
+		}
+		f.RUnlatch()
+		f.Unpin()
+		for _, it := range items {
+			cont := fn(TID{PageNo: no, Slot: it.slot},
+				getXID(it.data[0:]), getXID(it.data[8:]), it.data[tupleHeaderSize:])
 			if !cont {
-				f.Unpin()
 				return nil
 			}
 		}
-		f.Unpin()
 	}
 	return nil
 }
@@ -302,6 +323,8 @@ func (r *Relation) rawTuple(tid TID) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %v (%v)", ErrNoSuchTuple, tid, err)
 	}
 	defer f.Unpin()
+	f.RLatch()
+	defer f.RUnlatch()
 	item, err := r.itemAt(f, tid)
 	if err != nil {
 		return nil, err

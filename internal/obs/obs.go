@@ -84,6 +84,13 @@ const (
 	RepairRebuild     // leaf abandoned and rebuilt from the heap relation
 	HealthTransition  // DB health-state machine changed state
 
+	// Group commit (internal/txn) and the background flush daemon.
+	CommitBatch    // one commit batch: a single status append served >= 1 txns
+	CommitTxn      // transactions entering the commit path (batched or not)
+	CommitSyncSkip // a batch member's force coalesced onto an already-run sync
+	CommitFail     // a commit aborted by a force or status-write failure
+	FlushDaemon    // background checkpoint pass flushed the DB's dirty pages
+
 	numMetrics
 )
 
@@ -128,6 +135,11 @@ var metricNames = [numMetrics]string{
 	SupervisorFail:    "supervisor.fail",
 	RepairRebuild:     "repair.rebuild",
 	HealthTransition:  "health.transition",
+	CommitBatch:       "commit.batch",
+	CommitTxn:         "commit.txn",
+	CommitSyncSkip:    "commit.sync.skipped",
+	CommitFail:        "commit.fail",
+	FlushDaemon:       "flush.daemon",
 }
 
 func (m Metric) String() string {
@@ -150,14 +162,18 @@ var RepairMetrics = []Metric{
 type Timer uint8
 
 const (
-	TSyncFlush  Timer = iota // index sync: flush + token advance
-	TFlushDirty              // buffer-pool dirty-page flush
+	TSyncFlush   Timer = iota // index sync: flush + token advance
+	TFlushDirty               // buffer-pool dirty-page flush
+	TCommit                   // whole commit as seen by one committer (queue + force + status)
+	TStatusWrite              // durable status-table append (leader only)
 	numTimers
 )
 
 var timerNames = [numTimers]string{
-	TSyncFlush:  "sync.flush",
-	TFlushDirty: "pool.flush",
+	TSyncFlush:   "sync.flush",
+	TFlushDirty:  "pool.flush",
+	TCommit:      "commit.latency",
+	TStatusWrite: "commit.status",
 }
 
 func (t Timer) String() string {

@@ -1,0 +1,383 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// client is a scripted protocol client for tests.
+type client struct {
+	t *testing.T
+	c net.Conn
+	r *bufio.Reader
+}
+
+func dial(t *testing.T, srv *Server) *client {
+	t.Helper()
+	c, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &client{t: t, c: c, r: bufio.NewReader(c)}
+}
+
+func (cl *client) send(line string) {
+	cl.t.Helper()
+	if _, err := fmt.Fprintf(cl.c, "%s\n", line); err != nil {
+		cl.t.Fatalf("send %q: %v", line, err)
+	}
+}
+
+func (cl *client) recv() string {
+	cl.t.Helper()
+	cl.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := cl.r.ReadString('\n')
+	if err != nil {
+		cl.t.Fatalf("recv: %v (got %q)", err, line)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+// do sends a request and returns the single-line reply.
+func (cl *client) do(line string) string {
+	cl.t.Helper()
+	cl.send(line)
+	return cl.recv()
+}
+
+// expect sends a request and requires an exact reply.
+func (cl *client) expect(line, want string) {
+	cl.t.Helper()
+	if got := cl.do(line); got != want {
+		cl.t.Fatalf("%s: got %q, want %q", line, got, want)
+	}
+}
+
+// expectPrefix sends a request and requires a reply prefix.
+func (cl *client) expectPrefix(line, prefix string) string {
+	cl.t.Helper()
+	got := cl.do(line)
+	if !strings.HasPrefix(got, prefix) {
+		cl.t.Fatalf("%s: got %q, want prefix %q", line, got, prefix)
+	}
+	return got
+}
+
+// scan sends a SCAN and returns the ROW lines plus the final OK/ERR line.
+func (cl *client) scan(line string) (rows []string, final string) {
+	cl.t.Helper()
+	cl.send(line)
+	for {
+		got := cl.recv()
+		if strings.HasPrefix(got, "ROW ") {
+			rows = append(rows, strings.TrimPrefix(got, "ROW "))
+			continue
+		}
+		return rows, got
+	}
+}
+
+func newTestServer(t *testing.T, store core.Storage) (*core.DB, *Server) {
+	t.Helper()
+	db, err := core.Open(store, core.Config{Obs: obs.New(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(db, Options{DrainTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	return db, srv
+}
+
+// TestServerSmoke exercises every protocol verb over real TCP, including
+// the error paths, then asserts a clean graceful shutdown.
+func TestServerSmoke(t *testing.T) {
+	db, srv := newTestServer(t, core.Memory())
+	defer db.Close()
+	cl := dial(t, srv)
+
+	// Explicit transaction: own writes are invisible until COMMIT (reads
+	// see committed data only), then durable and visible.
+	begin := cl.expectPrefix("BEGIN", "OK ")
+	xid := strings.TrimPrefix(begin, "OK ")
+	cl.expect("PUT alpha one", "OK")
+	cl.expect("PUT beta two words here", "OK")
+	cl.expect("GET alpha", "NOTFOUND")
+	cl.expect("COMMIT", "OK "+xid)
+	cl.expect("GET alpha", "OK one")
+	cl.expect("GET beta", "OK two words here")
+
+	// Autocommit: visible immediately after the OK.
+	cl.expect("PUT gamma three", "OK")
+	cl.expect("GET gamma", "OK three")
+
+	// Update in place (logically): newest committed version wins.
+	cl.expect("PUT alpha uno", "OK")
+	cl.expect("GET alpha", "OK uno")
+
+	// ABORT discards the transaction's writes.
+	cl.expectPrefix("BEGIN", "OK ")
+	cl.expect("PUT doomed never", "OK")
+	cl.expectPrefix("ABORT", "OK ")
+	cl.expect("GET doomed", "NOTFOUND")
+
+	// DEL, both present and absent.
+	cl.expect("DEL gamma", "OK")
+	cl.expect("GET gamma", "NOTFOUND")
+	cl.expect("DEL gamma", "NOTFOUND")
+
+	// SCAN: range, open bounds, limit.
+	rows, final := cl.scan("SCAN - -")
+	if final != "OK 2" || len(rows) != 2 {
+		t.Fatalf("SCAN - -: rows=%v final=%q", rows, final)
+	}
+	if rows[0] != "alpha uno" || rows[1] != "beta two words here" {
+		t.Fatalf("SCAN rows out of order or wrong: %v", rows)
+	}
+	rows, final = cl.scan("SCAN alpha beta")
+	if final != "OK 1" || len(rows) != 1 || rows[0] != "alpha uno" {
+		t.Fatalf("SCAN alpha beta: rows=%v final=%q", rows, final)
+	}
+	rows, final = cl.scan("SCAN - - 1")
+	if final != "OK 1" || len(rows) != 1 {
+		t.Fatalf("SCAN with limit: rows=%v final=%q", rows, final)
+	}
+
+	// STATS reports through the obs recorder.
+	stats := cl.expectPrefix("STATS", "OK {")
+	if !strings.Contains(stats, `"commit_txns":`) || !strings.Contains(stats, `"health":`) {
+		t.Fatalf("STATS missing fields: %q", stats)
+	}
+
+	// Error paths.
+	cl.expectPrefix("FROB x", "ERR usage")
+	cl.expectPrefix("PUT loner", "ERR usage")
+	cl.expectPrefix("GET two tokens", "ERR usage")
+	cl.expectPrefix("SCAN justone", "ERR usage")
+	cl.expectPrefix("SCAN a b nope", "ERR usage")
+	cl.expectPrefix("COMMIT", "ERR notxn")
+	cl.expectPrefix("ABORT", "ERR notxn")
+	cl.expectPrefix("BEGIN", "OK ")
+	cl.expectPrefix("BEGIN", "ERR txn")
+	cl.expectPrefix("ABORT", "OK ")
+
+	// QUIT closes the session from the server side.
+	cl.expect("QUIT", "OK bye")
+	if _, err := cl.r.ReadString('\n'); err == nil {
+		t.Fatal("connection still open after QUIT")
+	}
+
+	// Graceful shutdown with idle sessions drains cleanly.
+	idle := dial(t, srv)
+	_ = idle
+	if err := srv.Close(); err != nil {
+		t.Fatalf("graceful Close: %v", err)
+	}
+}
+
+// TestServerDrainsInFlightCommit: a commit already executing when Close is
+// called completes and the client gets its OK before the drain finishes.
+func TestServerDrainsInFlightCommit(t *testing.T) {
+	store := core.Memory()
+	db, srv := newTestServer(t, store)
+	defer db.Close()
+
+	// Slow the control disk so the commit is still in its device sync when
+	// Close lands.
+	core.MemoryDisks(store)["control"].SetLatency(0, 2*time.Millisecond)
+
+	cl := dial(t, srv)
+	cl.expectPrefix("BEGIN", "OK ")
+	for i := 0; i < 20; i++ {
+		cl.expect(fmt.Sprintf("PUT drain-%02d v%d", i, i), "OK")
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond) // let COMMIT start first
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close during in-flight commit: %v", err)
+		}
+	}()
+	cl.expectPrefix("COMMIT", "OK ")
+	wg.Wait()
+
+	// New connections are refused once draining.
+	if c, err := net.Dial("tcp", srv.Addr().String()); err == nil {
+		c.Close()
+		// The listener may race the close; what matters is no session is
+		// served: a request must get no reply.
+		c2, err := net.Dial("tcp", srv.Addr().String())
+		if err == nil {
+			c2.Close()
+		}
+	}
+
+	// The commit that raced the shutdown is durable.
+	for _, d := range core.MemoryDisks(store) {
+		if err := d.CrashPartial(storage.CrashNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db2, err := core.Open(store, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	srv2, err := New(db2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	cl2 := dial(t, srv2)
+	cl2.expect("GET drain-00", "OK v0")
+	cl2.expect("GET drain-19", "OK v19")
+}
+
+// TestServerCrashRecover is the paper's pitch run end to end over the
+// wire: commit through one server generation, crash the machine (every
+// unsynced write lost), reopen instantly, and serve the committed data —
+// with the in-flight transaction's writes gone.
+func TestServerCrashRecover(t *testing.T) {
+	store := core.Memory()
+	db, srv := newTestServer(t, store)
+	_ = db // deliberately never closed: the machine dies, it doesn't exit
+
+	cl := dial(t, srv)
+	for i := 0; i < 10; i++ {
+		cl.expect(fmt.Sprintf("PUT stable-%02d value-%d", i, i), "OK")
+	}
+	cl.expect("DEL stable-03", "OK")
+
+	// A second client dies mid-transaction: its writes must not survive.
+	loser := dial(t, srv)
+	loser.expectPrefix("BEGIN", "OK ")
+	loser.expect("PUT phantom boo", "OK")
+	loser.expect("PUT stable-00 overwritten", "OK")
+
+	// The machine dies: no Close, no flush — every write that was not
+	// device-synced is gone.
+	for _, d := range core.MemoryDisks(store) {
+		if err := d.CrashPartial(storage.CrashNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Restart: open + serve, no log replay.
+	db2, err := core.Open(store, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	srv2, err := New(db2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	cl2 := dial(t, srv2)
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("stable-%02d", i)
+		if i == 3 {
+			cl2.expect("GET "+key, "NOTFOUND") // committed delete survived
+			continue
+		}
+		cl2.expect("GET "+key, fmt.Sprintf("OK value-%d", i))
+	}
+	cl2.expect("GET phantom", "NOTFOUND") // in-flight txn vanished
+	rows, final := cl2.scan("SCAN - -")
+	if final != "OK 9" {
+		t.Fatalf("post-crash SCAN: rows=%v final=%q", rows, final)
+	}
+
+	cl2.expect("QUIT", "OK bye")
+	if err := srv2.Close(); err != nil {
+		t.Fatalf("graceful Close after recovery: %v", err)
+	}
+}
+
+// TestServerConcurrentClients hammers autocommit PUTs from several
+// connections at once — the group-commit path end to end — then checks
+// every committed key reads back and the coordinator actually batched.
+func TestServerConcurrentClients(t *testing.T) {
+	store := core.Memory()
+	rec := obs.New(64)
+	db, err := core.Open(store, core.Config{Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv, err := New(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// A write cost on every device keeps commits overlapping so the
+	// coordinator actually forms multi-member batches.
+	for _, d := range core.MemoryDisks(store) {
+		d.SetLatency(0, 200*time.Microsecond)
+	}
+
+	const clients, puts = 8, 25
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				t.Errorf("client %d: %v", c, err)
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for i := 0; i < puts; i++ {
+				fmt.Fprintf(conn, "PUT c%d-k%02d v%d.%d\n", c, i, c, i)
+				line, err := r.ReadString('\n')
+				if err != nil || strings.TrimSpace(line) != "OK" {
+					t.Errorf("client %d put %d: %q %v", c, i, line, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	cl := dial(t, srv)
+	for c := 0; c < clients; c++ {
+		for i := 0; i < puts; i++ {
+			cl.expect(fmt.Sprintf("GET c%d-k%02d", c, i), fmt.Sprintf("OK v%d.%d", c, i))
+		}
+	}
+	if got := rec.Get(obs.CommitTxn); got < clients*puts {
+		t.Fatalf("commit.txn = %d, want >= %d", got, clients*puts)
+	}
+	if rec.Get(obs.CommitBatch) >= rec.Get(obs.CommitTxn) {
+		t.Fatalf("no batching: %d batches for %d txns",
+			rec.Get(obs.CommitBatch), rec.Get(obs.CommitTxn))
+	}
+}

@@ -1,0 +1,454 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/txn"
+)
+
+// tidLen is the byte length of an encoded heap.TID, the suffix MakeUnique
+// appends to turn a user key into a unique index key.
+var tidLen = len(heap.TID{}.Bytes())
+
+const (
+	maxLine     = 1 << 20 // longest accepted request line
+	defaultScan = 100     // SCAN row cap when the client gives none
+	maxScan     = 100000
+)
+
+// session is one connection's state: at most one open transaction.
+type session struct {
+	srv *Server
+	c   net.Conn
+	r   *bufio.Reader
+	w   *bufio.Writer
+	tx  *core.Txn
+}
+
+func newSession(s *Server, c net.Conn) *session {
+	return &session{
+		srv: s,
+		c:   c,
+		r:   bufio.NewReaderSize(c, 64<<10),
+		w:   bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+// run is the session loop: read a line, execute, reply, until the client
+// quits, the connection drops, or the server drains.
+func (ss *session) run() {
+	defer func() {
+		// A connection that drops mid-transaction aborts it — exactly a
+		// client crash in the §2 model: nothing to undo, the tuples are
+		// simply never committed.
+		if ss.tx != nil {
+			_ = ss.tx.Abort()
+			ss.tx = nil
+		}
+	}()
+	for {
+		if ss.srv.draining() {
+			ss.reply("ERR shutdown server is draining")
+			ss.w.Flush()
+			return
+		}
+		line, err := ss.r.ReadString('\n')
+		if err != nil {
+			if len(line) == 0 {
+				return // clean EOF, read deadline (drain), or dead peer
+			}
+			// Final unterminated line: fall through and serve it.
+		}
+		if len(line) > maxLine {
+			ss.reply("ERR usage line too long")
+			ss.w.Flush()
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			continue
+		}
+		if !ss.dispatch(line) {
+			ss.w.Flush()
+			return
+		}
+		if err := ss.w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request line; false means close the session.
+func (ss *session) dispatch(line string) bool {
+	verb := line
+	rest := ""
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		verb, rest = line[:i], line[i+1:]
+	}
+	switch strings.ToUpper(verb) {
+	case "BEGIN":
+		ss.cmdBegin()
+	case "PUT":
+		ss.cmdPut(rest)
+	case "GET":
+		ss.cmdGet(rest)
+	case "DEL":
+		ss.cmdDel(rest)
+	case "SCAN":
+		ss.cmdScan(rest)
+	case "COMMIT":
+		ss.cmdCommit()
+	case "ABORT":
+		ss.cmdAbort()
+	case "STATS":
+		ss.cmdStats()
+	case "QUIT":
+		ss.reply("OK bye")
+		return false
+	default:
+		ss.reply("ERR usage unknown verb %q", verb)
+	}
+	return true
+}
+
+func (ss *session) reply(format string, args ...any) {
+	fmt.Fprintf(ss.w, format+"\n", args...)
+}
+
+// fail maps engine errors onto protocol error codes.
+func (ss *session) fail(err error) {
+	switch {
+	case errors.Is(err, txn.ErrCommitFailed):
+		ss.reply("ERR retry %v", err)
+	case errors.Is(err, core.ErrReadOnly):
+		ss.reply("ERR readonly %v", err)
+	case errors.Is(err, core.ErrFailed):
+		ss.reply("ERR failed %v", err)
+	case errors.Is(err, core.ErrQuarantined):
+		ss.reply("ERR quarantined %v", err)
+	default:
+		ss.reply("ERR server %v", err)
+	}
+}
+
+func (ss *session) cmdBegin() {
+	if ss.tx != nil {
+		ss.reply("ERR txn transaction %d already open", ss.tx.XID())
+		return
+	}
+	ss.tx = ss.srv.db.Begin()
+	ss.reply("OK %d", ss.tx.XID())
+}
+
+func (ss *session) cmdCommit() {
+	if ss.tx == nil {
+		ss.reply("ERR notxn no transaction open")
+		return
+	}
+	tx := ss.tx
+	ss.tx = nil // committed or aborted either way — never limbo
+	if err := tx.Commit(); err != nil {
+		ss.fail(err)
+		return
+	}
+	ss.reply("OK %d", tx.XID())
+}
+
+func (ss *session) cmdAbort() {
+	if ss.tx == nil {
+		ss.reply("ERR notxn no transaction open")
+		return
+	}
+	tx := ss.tx
+	ss.tx = nil
+	if err := tx.Abort(); err != nil {
+		ss.fail(err)
+		return
+	}
+	ss.reply("OK %d", tx.XID())
+}
+
+// withTxn runs fn under the session transaction, or under a fresh
+// autocommit transaction that commits (or aborts on error) around it.
+func (ss *session) withTxn(fn func(tx *core.Txn) error) error {
+	if ss.tx != nil {
+		return fn(ss.tx)
+	}
+	tx := ss.srv.db.Begin()
+	if err := fn(tx); err != nil {
+		_ = tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+func (ss *session) cmdPut(rest string) {
+	i := strings.IndexByte(rest, ' ')
+	if rest == "" || i <= 0 || i == len(rest)-1 {
+		ss.reply("ERR usage PUT <key> <value>")
+		return
+	}
+	key, value := []byte(rest[:i]), []byte(rest[i+1:])
+	err := ss.withTxn(func(tx *core.Txn) error { return ss.srv.put(tx, key, value) })
+	if err != nil {
+		ss.fail(err)
+		return
+	}
+	ss.reply("OK")
+}
+
+func (ss *session) cmdGet(rest string) {
+	if rest == "" || strings.ContainsRune(rest, ' ') {
+		ss.reply("ERR usage GET <key>")
+		return
+	}
+	_, val, ok, err := ss.srv.lookupVisible([]byte(rest))
+	if err != nil {
+		ss.fail(err)
+		return
+	}
+	if !ok {
+		ss.reply("NOTFOUND")
+		return
+	}
+	ss.reply("OK %s", val)
+}
+
+func (ss *session) cmdDel(rest string) {
+	if rest == "" || strings.ContainsRune(rest, ' ') {
+		ss.reply("ERR usage DEL <key>")
+		return
+	}
+	found := false
+	err := ss.withTxn(func(tx *core.Txn) error {
+		var err error
+		found, err = ss.srv.del(tx, []byte(rest))
+		return err
+	})
+	if err != nil {
+		ss.fail(err)
+		return
+	}
+	if !found {
+		ss.reply("NOTFOUND")
+		return
+	}
+	ss.reply("OK")
+}
+
+func (ss *session) cmdScan(rest string) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 || len(fields) > 3 {
+		ss.reply("ERR usage SCAN <lo> <hi> [limit]  (\"-\" = open bound)")
+		return
+	}
+	var lo, hi []byte
+	if fields[0] != "-" {
+		lo = []byte(fields[0])
+	}
+	if fields[1] != "-" {
+		hi = []byte(fields[1])
+	}
+	limit := defaultScan
+	if len(fields) == 3 {
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n <= 0 || n > maxScan {
+			ss.reply("ERR usage bad limit %q (1..%d)", fields[2], maxScan)
+			return
+		}
+		limit = n
+	}
+	rows, err := ss.srv.scanVisible(lo, hi, limit)
+	if err != nil {
+		ss.fail(err)
+		return
+	}
+	for _, r := range rows {
+		ss.reply("ROW %s %s", r.key, r.val)
+	}
+	ss.reply("OK %d", len(rows))
+}
+
+func (ss *session) cmdStats() {
+	snap := ss.srv.db.Metrics()
+	stats := map[string]any{
+		"health":         ss.srv.db.Health().String(),
+		"commit_txns":    snap.Counters["commit.txn"],
+		"commit_batches": snap.Counters["commit.batch"],
+		"commit_fails":   snap.Counters["commit.fail"],
+		"flush_passes":   snap.Counters["flush.daemon"],
+	}
+	b, err := json.Marshal(stats)
+	if err != nil {
+		ss.fail(err)
+		return
+	}
+	ss.reply("OK %s", b)
+}
+
+// --- KV semantics over the heap + index ----------------------------------
+//
+// The index holds <user key, TID> made unique POSTGRES-style by appending
+// the 6-byte tuple identifier (core.MakeUnique, §2). A user key therefore
+// owns a contiguous run of index entries — one per tuple version — and
+// tuple visibility against the status table decides which one is current.
+// Dead entries (aborted writers, superseded versions) are tolerated by
+// readers and reclaimed by the vacuum, never transactionally.
+
+// lookupVisible resolves key to its newest visible version. Multiple
+// visible versions can exist only under concurrent uncoordinated writers
+// (the engine has no write-write locking); the highest TID — the latest
+// heap placement — wins deterministically.
+func (s *Server) lookupVisible(key []byte) (heap.TID, []byte, bool, error) {
+	var (
+		bestTID heap.TID
+		bestVal []byte
+		found   bool
+	)
+	err := s.idx.Scan(key, nil, func(e []byte, tid heap.TID) bool {
+		if !bytes.HasPrefix(e, key) {
+			return false // sorted: once past the key's prefix run, done
+		}
+		if len(e) != len(key)+tidLen {
+			return true // a longer user key sharing the prefix; keep going
+		}
+		data, err := s.rel.Fetch(tid)
+		if err != nil {
+			return true // dead or invisible version
+		}
+		if !found || tidLess(bestTID, tid) {
+			bestTID, bestVal, found = tid, data, true
+		}
+		return true
+	})
+	if err != nil {
+		return heap.TID{}, nil, false, err
+	}
+	return bestTID, bestVal, found, nil
+}
+
+func tidLess(a, b heap.TID) bool {
+	if a.PageNo != b.PageNo {
+		return a.PageNo < b.PageNo
+	}
+	return a.Slot < b.Slot
+}
+
+// put writes key=value under tx: an update of the current visible version
+// if one exists, an insert otherwise. The new version gets its own index
+// entry; the old entry stays behind pointing at the now-dead version, as
+// the no-overwrite discipline requires.
+func (s *Server) put(tx *core.Txn, key, value []byte) error {
+	old, _, exists, err := s.lookupVisible(key)
+	if err != nil {
+		return err
+	}
+	var tid heap.TID
+	if exists {
+		tid, err = s.rel.Update(tx, old, value)
+	} else {
+		tid, err = s.rel.Insert(tx, value)
+	}
+	if err != nil {
+		return err
+	}
+	return s.idx.InsertTID(tx, core.MakeUnique(key, tid), tid)
+}
+
+// del stamps the current visible version dead. The index entry remains;
+// visibility filtering hides it immediately after commit.
+func (s *Server) del(tx *core.Txn, key []byte) (bool, error) {
+	tid, _, exists, err := s.lookupVisible(key)
+	if err != nil || !exists {
+		return false, err
+	}
+	return true, s.rel.Delete(tx, tid)
+}
+
+type kvRow struct{ key, val []byte }
+
+// scanVisible walks user keys in [lo, hi) (nil = open bound), resolving
+// each to its newest visible version, and returns up to limit rows in key
+// order.
+func (s *Server) scanVisible(lo, hi []byte, limit int) ([]kvRow, error) {
+	type cand struct {
+		tid heap.TID
+		val []byte
+	}
+	best := make(map[string]cand)
+	err := s.idx.Scan(lo, nil, func(e []byte, tid heap.TID) bool {
+		if len(e) < tidLen {
+			return true
+		}
+		key := e[:len(e)-tidLen]
+		inRange := (lo == nil || bytes.Compare(key, lo) >= 0) &&
+			(hi == nil || bytes.Compare(key, hi) < 0)
+		if !inRange {
+			// Entries of a user key form the contiguous index range
+			// prefixed by that key, but entries of DIFFERENT keys that
+			// share a prefix interleave: "a"+tid entries straddle every
+			// "a?"+tid run. So an out-of-range entry only ends the scan
+			// once no in-range key could still prefix later entries.
+			if hi != nil && !hasInRangePrefix(e, lo, hi) {
+				return false
+			}
+			return true
+		}
+		data, err := s.rel.Fetch(tid)
+		if err != nil {
+			return true // dead version
+		}
+		ks := string(key)
+		if prev, ok := best[ks]; !ok {
+			best[ks] = cand{tid, data}
+			if len(best) > limit+1 {
+				// One past the limit proves there are more rows; no
+				// need to keep collecting the tail.
+				return false
+			}
+		} else if tidLess(prev.tid, tid) {
+			best[ks] = cand{tid, data}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	order := make([]string, 0, len(best))
+	for ks := range best {
+		order = append(order, ks)
+	}
+	sort.Strings(order)
+	if len(order) > limit {
+		order = order[:limit]
+	}
+	rows := make([]kvRow, 0, len(order))
+	for _, ks := range order {
+		rows = append(rows, kvRow{key: []byte(ks), val: best[ks].val})
+	}
+	return rows, nil
+}
+
+// hasInRangePrefix reports whether any proper prefix of index entry e is a
+// user key inside [lo, hi) — conservatively, whether such a key COULD
+// exist: if one does, its remaining entries may still follow e, so the
+// scan must keep going.
+func hasInRangePrefix(e, lo, hi []byte) bool {
+	for n := 0; n < len(e); n++ {
+		p := e[:n]
+		if (lo == nil || bytes.Compare(p, lo) >= 0) && bytes.Compare(p, hi) < 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -224,6 +224,27 @@ func (d *MemDisk) Stats() (writes, syncs, crashes int) {
 	return d.writes, d.syncs, d.crashes
 }
 
+// CloneStable returns a new MemDisk whose durable contents are a deep copy
+// of this disk's durable state, with no buffered writes — exactly what a
+// restarted DBMS would read after a crash at this instant. Unlike
+// CrashPartial it leaves the original disk untouched, so concurrent crash
+// tests can examine "the machine that rebooted" while the original
+// workload keeps running.
+func (d *MemDisk) CloneStable() *MemDisk {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := NewMemDisk()
+	for no, data := range d.stable {
+		img := make([]byte, len(data))
+		copy(img, data)
+		c.stable[no] = img
+		if no+1 > c.nPages {
+			c.nPages = no + 1
+		}
+	}
+	return c
+}
+
 // SnapshotStable returns a deep copy of the durable state, for tests that
 // want to diff before/after images.
 func (d *MemDisk) SnapshotStable() map[PageNo][]byte {
