@@ -75,7 +75,7 @@ bench-parallel:
 # sync and the status write).
 server-smoke:
 	$(GO) test -race ./internal/server
-	$(GO) test -race ./internal/txn -run 'TestGroupCommit|TestBatch|TestSpill|TestCommitForceFailure|TestStatusAppend'
+	$(GO) test -race ./internal/txn -run 'TestGroupCommit|TestBatch|TestSpill|TestCommit|TestStatusAppend|TestVisibility'
 
 # The commit-throughput sweep behind BENCH_server.json (see EXPERIMENTS.md).
 bench-server:

@@ -381,3 +381,166 @@ func TestServerConcurrentClients(t *testing.T) {
 			rec.Get(obs.CommitBatch), rec.Get(obs.CommitTxn))
 	}
 }
+
+// TestServerDropsTruncatedPartialLineOnDrain: a command whose bytes are
+// still in flight when the server drains must NOT be executed. TCP can
+// segment a line anywhere, so a read interrupted by the drain deadline may
+// hold a truncated prefix of a command ("PUT trunc hel" of
+// "PUT trunc hello"); executing it would durably autocommit a corrupted
+// value. Only a clean EOF proves the final unterminated line arrived whole.
+func TestServerDropsTruncatedPartialLineOnDrain(t *testing.T) {
+	db, srv := newTestServer(t, core.Memory())
+	defer db.Close()
+
+	c, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Half a command, no newline; the rest never arrives.
+	if _, err := c.Write([]byte("PUT trunc hel")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the session park in its read
+	if err := srv.Close(); err != nil {
+		t.Fatalf("graceful Close: %v", err)
+	}
+
+	_, _, found, err := srv.lookupVisible([]byte("trunc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("truncated partial line was executed at drain")
+	}
+}
+
+// TestServerServesFinalLineOnCleanEOF is the flip side: a client that
+// writes a complete command and closes without a trailing newline DID send
+// the whole line — the clean EOF proves it — so it is served.
+func TestServerServesFinalLineOnCleanEOF(t *testing.T) {
+	db, srv := newTestServer(t, core.Memory())
+	defer db.Close()
+	defer srv.Close()
+
+	c, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("PUT eof whole")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // FIN: the server's read returns the line plus io.EOF
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, val, found, err := srv.lookupVisible([]byte("eof"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found {
+			if string(val) != "whole" {
+				t.Fatalf("final line value = %q, want %q", val, "whole")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("final unterminated line never served after clean EOF")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerRejectsOverlongLineIncrementally: the maxLine cap is enforced
+// while the line streams in, so the server replies and closes as soon as
+// the cap is crossed — it never waits for (or buffers) an unbounded
+// unterminated line first.
+func TestServerRejectsOverlongLineIncrementally(t *testing.T) {
+	db, srv := newTestServer(t, core.Memory())
+	defer db.Close()
+	defer srv.Close()
+
+	c, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go func() {
+		// Stream several maxLine multiples with no newline; the write side
+		// errors out once the server rejects and closes, which is fine.
+		junk := make([]byte, 64<<10)
+		for i := range junk {
+			junk[i] = 'x'
+		}
+		for sent := 0; sent < 3*maxLine; sent += len(junk) {
+			if _, err := c.Write(junk); err != nil {
+				return
+			}
+		}
+	}()
+
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil {
+		t.Fatalf("no rejection for unterminated overlong line: %v", err)
+	}
+	if !strings.HasPrefix(line, "ERR usage line too long") {
+		t.Fatalf("reply = %q, want line-too-long error", line)
+	}
+}
+
+// TestScanPrefixInterleavedKeys pins SCAN against the index's raw entry
+// order. Index entries are <user key><6-byte TID>, so entries of a SHORT
+// key sort after entries of longer keys sharing its prefix whenever the
+// short key's first TID byte (the heap page number's low byte) exceeds the
+// longer key's next byte. A limit cutoff keyed on "distinct keys seen" can
+// therefore stop before ever reaching the range's smallest key. Keys "a"
+// (tuple forced onto heap page >= 1, TID first byte >= 1) and "a\x00?"
+// (next key byte 0x00) produce exactly that interleaving.
+func TestScanPrefixInterleavedKeys(t *testing.T) {
+	db, srv := newTestServer(t, core.Memory())
+	defer db.Close()
+	defer srv.Close()
+	cl := dial(t, srv)
+
+	// Push the heap past page 0 so later tuples get TIDs with a nonzero
+	// low page byte.
+	pad := strings.Repeat("p", 2000)
+	for i := 0; i < 24; i++ {
+		cl.expect(fmt.Sprintf("PUT z%02d %s", i, pad), "OK")
+	}
+	for _, k := range []string{"a\x00a", "a\x00b", "a\x00c", "a\x00d"} {
+		cl.expect("PUT "+k+" ext", "OK")
+	}
+	cl.expect("PUT a short", "OK")
+
+	tid, _, found, err := srv.lookupVisible([]byte("a"))
+	if err != nil || !found {
+		t.Fatalf("lookup of key a: found=%v err=%v", found, err)
+	}
+	if byte(tid.PageNo) == 0 {
+		t.Fatal("test setup: key \"a\" landed on heap page 0; its entries would not interleave — increase padding")
+	}
+
+	// "a" is the smallest key in [a, b) but its entries sort after every
+	// "a\x00?" entry; a limited SCAN must still rank it first.
+	rows, final := cl.scan("SCAN a b 2")
+	if final != "OK 2" {
+		t.Fatalf("SCAN a b 2: rows=%v final=%q", rows, final)
+	}
+	if rows[0] != "a short" || rows[1] != "a\x00a ext" {
+		t.Fatalf("limited SCAN missed the low-sorting key: %q", rows)
+	}
+
+	// The unlimited range returns every key, still in key order.
+	rows, final = cl.scan("SCAN a b")
+	want := []string{"a short", "a\x00a ext", "a\x00b ext", "a\x00c ext", "a\x00d ext"}
+	if final != fmt.Sprintf("OK %d", len(want)) {
+		t.Fatalf("SCAN a b: rows=%v final=%q", rows, final)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("SCAN row %d = %q, want %q (all: %q)", i, rows[i], want[i], rows)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"strconv"
@@ -62,17 +63,21 @@ func (ss *session) run() {
 			ss.w.Flush()
 			return
 		}
-		line, err := ss.r.ReadString('\n')
+		line, err := ss.readLine()
 		if err != nil {
-			if len(line) == 0 {
-				return // clean EOF, read deadline (drain), or dead peer
+			if errors.Is(err, errLineTooLong) {
+				ss.reply("ERR usage line too long")
+				ss.w.Flush()
+				return
 			}
-			// Final unterminated line: fall through and serve it.
-		}
-		if len(line) > maxLine {
-			ss.reply("ERR usage line too long")
-			ss.w.Flush()
-			return
+			// A final unterminated line is served only on a clean EOF — the
+			// client wrote it whole and closed. On any other error (read
+			// deadline during drain, reset peer) the line may be a TRUNCATED
+			// prefix of a command still in flight; executing it could
+			// durably autocommit a corrupted write, so drop it and close.
+			if !errors.Is(err, io.EOF) || len(line) == 0 {
+				return
+			}
 		}
 		line = strings.TrimRight(line, "\r\n")
 		if line == "" {
@@ -85,6 +90,29 @@ func (ss *session) run() {
 		if err := ss.w.Flush(); err != nil {
 			return
 		}
+	}
+}
+
+// errLineTooLong rejects a request line that exceeded maxLine before a
+// newline arrived.
+var errLineTooLong = errors.New("server: request line too long")
+
+// readLine reads one newline-terminated request line, enforcing maxLine
+// incrementally: the line is rejected as soon as the cap is crossed, never
+// buffered whole first, so a client streaming an endless unterminated line
+// cannot grow server memory past maxLine plus one bufio buffer.
+func (ss *session) readLine() (string, error) {
+	var buf []byte
+	for {
+		frag, err := ss.r.ReadSlice('\n')
+		if len(buf)+len(frag) > maxLine {
+			return "", errLineTooLong
+		}
+		buf = append(buf, frag...)
+		if err == bufio.ErrBufferFull {
+			continue // long line spans bufio buffers; keep accumulating
+		}
+		return string(buf), err
 	}
 }
 
@@ -385,7 +413,12 @@ func (s *Server) scanVisible(lo, hi []byte, limit int) ([]kvRow, error) {
 		tid heap.TID
 		val []byte
 	}
+	// best holds a candidate newest version for each of the (up to limit)
+	// smallest in-range keys seen so far; keys mirrors its key set in
+	// sorted order. Keys beyond the limit-th are evicted as smaller ones
+	// arrive — they can never appear in the result.
 	best := make(map[string]cand)
+	var keys []string
 	err := s.idx.Scan(lo, nil, func(e []byte, tid heap.TID) bool {
 		if len(e) < tidLen {
 			return true
@@ -404,36 +437,47 @@ func (s *Server) scanVisible(lo, hi []byte, limit int) ([]kvRow, error) {
 			}
 			return true
 		}
+		ks := string(key)
+		if _, tracked := best[ks]; !tracked && len(keys) == limit && ks > keys[limit-1] {
+			// The result set is full and this key sorts past its largest
+			// member, so it cannot appear in the first limit rows. Keys
+			// are NOT visited in key order (the prefix interleaving
+			// above), so this alone does not end the scan: the only keys
+			// <= keys[limit-1] whose entries can still follow e are
+			// proper prefixes of e — a prefix key's entry run straddles
+			// its extensions' runs, every other key's run is fully
+			// behind us. Once no such prefix could exist, we are done.
+			if !hasPrefixThrough(e, lo, []byte(keys[limit-1])) {
+				return false
+			}
+			return true
+		}
 		data, err := s.rel.Fetch(tid)
 		if err != nil {
 			return true // dead version
 		}
-		ks := string(key)
-		if prev, ok := best[ks]; !ok {
-			best[ks] = cand{tid, data}
-			if len(best) > limit+1 {
-				// One past the limit proves there are more rows; no
-				// need to keep collecting the tail.
-				return false
+		if prev, ok := best[ks]; ok {
+			if tidLess(prev.tid, tid) {
+				best[ks] = cand{tid, data}
 			}
-		} else if tidLess(prev.tid, tid) {
-			best[ks] = cand{tid, data}
+			return true
+		}
+		best[ks] = cand{tid, data}
+		i := sort.SearchStrings(keys, ks)
+		keys = append(keys, "")
+		copy(keys[i+1:], keys[i:])
+		keys[i] = ks
+		if len(keys) > limit {
+			delete(best, keys[limit])
+			keys = keys[:limit]
 		}
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
-	order := make([]string, 0, len(best))
-	for ks := range best {
-		order = append(order, ks)
-	}
-	sort.Strings(order)
-	if len(order) > limit {
-		order = order[:limit]
-	}
-	rows := make([]kvRow, 0, len(order))
-	for _, ks := range order {
+	rows := make([]kvRow, 0, len(keys))
+	for _, ks := range keys {
 		rows = append(rows, kvRow{key: []byte(ks), val: best[ks].val})
 	}
 	return rows, nil
@@ -447,6 +491,20 @@ func hasInRangePrefix(e, lo, hi []byte) bool {
 	for n := 0; n < len(e); n++ {
 		p := e[:n]
 		if (lo == nil || bytes.Compare(p, lo) >= 0) && bytes.Compare(p, hi) < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasPrefixThrough is hasInRangePrefix with an INCLUSIVE upper bound: could
+// any proper prefix of e be a user key in [lo, ub]? Used for the limit
+// cutoff, where ub — the largest key currently in the result set — is
+// itself still a live candidate.
+func hasPrefixThrough(e, lo, ub []byte) bool {
+	for n := 0; n < len(e); n++ {
+		p := e[:n]
+		if (lo == nil || bytes.Compare(p, lo) >= 0) && bytes.Compare(p, ub) <= 0 {
 			return true
 		}
 	}

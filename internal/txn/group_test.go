@@ -458,6 +458,149 @@ func TestSpillBoundariesSurviveCrash(t *testing.T) {
 	}
 }
 
+// --- visibility is published only after the durable commit point ---------
+
+// TestVisibilityOnlyAfterDurableStatusWrite pins the fix for a dirty-read
+// window: Committed() — the visibility oracle every reader consults — must
+// not report a batch member committed until its status-table write is
+// durable. The buggy version updated the in-memory map before the device
+// sync, so a concurrent reader could observe (and act on) a commit that a
+// crash or a status-write failure would then erase. Both leader-side hooks
+// bracket the window: after the batched force, and after the tail sync
+// inside writeStatus (before the page-0 commit point).
+func TestVisibilityOnlyAfterDurableStatusWrite(t *testing.T) {
+	d := storage.NewMemDisk()
+	m, err := OpenManager(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		hookMu  sync.Mutex
+		pending []heap.XID // the batch currently between force and commit point
+		leaked  []heap.XID // members visible inside that window
+	)
+	check := func(batch []heap.XID) {
+		for _, x := range batch {
+			if m.Committed(x) {
+				leaked = append(leaked, x)
+			}
+		}
+	}
+	m.hookAfterForce = func(batch []heap.XID) {
+		hookMu.Lock()
+		defer hookMu.Unlock()
+		pending = append(pending[:0], batch...)
+		check(batch)
+	}
+	m.hookAfterTailSync = func() {
+		hookMu.Lock()
+		defer hookMu.Unlock()
+		check(pending)
+	}
+
+	const n = 8
+	shared := &countingSyncer{}
+	txns := make([]*Txn, n)
+	for i := range txns {
+		txns[i] = m.Begin()
+		txns[i].Touch(shared)
+	}
+	var wg sync.WaitGroup
+	for i := range txns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := txns[i].Commit(); err != nil {
+				t.Errorf("commit %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	hookMu.Lock()
+	defer hookMu.Unlock()
+	if len(leaked) > 0 {
+		t.Fatalf("xids %v were visible before their commit record was durable", leaked)
+	}
+	for _, tx := range txns {
+		if !m.Committed(tx.XID()) {
+			t.Fatalf("xid %d not visible after Commit returned", tx.XID())
+		}
+	}
+}
+
+// syncFailDisk wraps a Disk so the test can arm a Sync failure after the
+// manager has bootstrapped.
+type syncFailDisk struct {
+	storage.Disk
+	mu   sync.Mutex
+	fail error
+}
+
+func (d *syncFailDisk) arm(err error) {
+	d.mu.Lock()
+	d.fail = err
+	d.mu.Unlock()
+}
+
+func (d *syncFailDisk) Sync() error {
+	d.mu.Lock()
+	err := d.fail
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return d.Disk.Sync()
+}
+
+// TestCommitStatusFailureNeverVisible: when the status-table write itself
+// fails, the transaction aborts with a stage-"status" error and must never
+// have been visible — there is no publish-then-retract, because visibility
+// is only published after the durable write succeeds.
+func TestCommitStatusFailureNeverVisible(t *testing.T) {
+	d := &syncFailDisk{Disk: storage.NewMemDisk()}
+	m, err := OpenManager(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devErr := errors.New("status device on fire")
+	d.arm(devErr)
+
+	tx := m.Begin()
+	err = tx.Commit()
+	if !errors.Is(err, ErrCommitFailed) || !errors.Is(err, devErr) {
+		t.Fatalf("commit error = %v", err)
+	}
+	var ce *CommitError
+	if !errors.As(err, &ce) || ce.Stage != "status" {
+		t.Fatalf("CommitError = %+v", ce)
+	}
+	if m.Committed(tx.XID()) {
+		t.Fatal("status-stage failure left the transaction visible")
+	}
+
+	// The manager stays consistent: heal the device and the next commit
+	// goes through, with the failed XID still absent after a reload.
+	d.arm(nil)
+	tx2 := m.Begin()
+	if err := tx2.Commit(); err != nil {
+		t.Fatalf("commit after healed device: %v", err)
+	}
+	if !m.Committed(tx2.XID()) || m.Committed(tx.XID()) {
+		t.Fatalf("visibility wrong after heal: ok=%v failed=%v",
+			m.Committed(tx2.XID()), m.Committed(tx.XID()))
+	}
+	m2, err := OpenManager(d.Disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Committed(tx2.XID()) || m2.Committed(tx.XID()) {
+		t.Fatalf("durable visibility wrong: ok=%v failed=%v",
+			m2.Committed(tx2.XID()), m2.Committed(tx.XID()))
+	}
+}
+
 // TestStatusAppendDoesNotRewritePrefix pins the append-only property the
 // crash atomicity of writeStatus depends on: committing one transaction
 // into a multi-page table rewrites only page 0 and the tail page, never

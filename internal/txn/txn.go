@@ -322,29 +322,34 @@ func (m *Manager) runBatch(batch []*commitReq) {
 	}
 
 	// Step 2: one status append covering every survivor. The encode runs
-	// under m.mu (it reads committed state and the XID high-water mark);
+	// under m.mu (it reads the order slice and the XID high-water mark);
 	// the device writes and syncs run outside it, so readers calling
-	// Committed are never blocked behind an fsync.
+	// Committed are never blocked behind an fsync. Crucially the batch is
+	// staged only in m.order here — m.committed, the visibility oracle, is
+	// updated strictly AFTER writeStatus returns, so no reader can observe
+	// a transaction as committed before its commit record is durable (and
+	// a status-write failure never has to retract visibility a reader may
+	// already have acted on).
 	if len(xids) > 0 {
 		m.mu.Lock()
-		for _, x := range xids {
-			m.committed[x] = true
-			m.order = append(m.order, x)
-		}
+		m.order = append(m.order, xids...)
 		pages := m.encodeLocked(len(xids))
 		m.mu.Unlock()
 
 		if err := m.writeStatus(pages); err != nil {
 			m.mu.Lock()
-			for _, x := range xids {
-				delete(m.committed, x)
-			}
 			m.order = m.order[:len(m.order)-len(xids)]
 			m.mu.Unlock()
 			for _, r := range commitSet {
 				r.err = &CommitError{XID: r.t.xid, Stage: "status", Err: err}
 				m.obs.Count(obs.CommitFail)
 			}
+		} else {
+			m.mu.Lock()
+			for _, x := range xids {
+				m.committed[x] = true
+			}
+			m.mu.Unlock()
 		}
 	}
 
