@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-short race repair-coverage quarantine nested-faults bench bench-smoke bench-parallel server-smoke bench-server
+.PHONY: check vet build test test-short race repair-coverage quarantine nested-faults bench bench-smoke bench-parallel server-smoke bench-server shard-smoke bench-shards
 
-check: vet build test race repair-coverage quarantine nested-faults bench-smoke server-smoke
+check: vet build test race repair-coverage quarantine nested-faults bench-smoke server-smoke shard-smoke
 
 vet:
 	$(GO) vet ./...
@@ -65,7 +65,7 @@ bench:
 
 # The §3.6 scaling sweep behind BENCH_concurrency.json (see EXPERIMENTS.md).
 bench-parallel:
-	$(GO) run ./cmd/fastrec-bench -procs 1,2,4,8 -json
+	$(GO) run ./cmd/fastrec-bench -procs 1,2,4,8,16,32 -json
 
 # The serving-layer gate: every protocol verb over real TCP, graceful
 # shutdown draining an in-flight commit, the wire-level crash-recover
@@ -80,3 +80,21 @@ server-smoke:
 # The commit-throughput sweep behind BENCH_server.json (see EXPERIMENTS.md).
 bench-server:
 	$(GO) run ./cmd/fastrec-bench -server -clients 1,2,4,8 -json
+
+# The sharding gate, all under the race detector: the router's merged
+# scans and parallel recovery, the sharded core index (crash/recover with
+# every shard dirty, supervisor healing a fault in every shard, heap
+# rebuilds that respect shard routing), the txn layer's parallel force
+# fan-out across sync domains, and a multi-shard server crash/recover
+# round over real TCP.
+shard-smoke:
+	$(GO) test -race ./internal/shard
+	$(GO) test -race ./internal/core -run TestSharded
+	$(GO) test -race ./internal/txn -run TestBatchForce
+	$(GO) test -race ./internal/server -run TestServerSharded
+
+# The shard-scaling and parallel-recovery sweeps behind the "sharded" and
+# "recovery" sections of BENCH_concurrency.json (see EXPERIMENTS.md).
+bench-shards:
+	$(GO) run ./cmd/fastrec-bench -shards 1,2,4,8 -procs 16,32 -op mixed -json
+	$(GO) run ./cmd/fastrec-bench -recover -shards 1,2,4,8 -json

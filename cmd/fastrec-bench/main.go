@@ -75,8 +75,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -op %q (want insert, lookup, both, or mixed)\n", *op)
 		os.Exit(2)
 	}
-	if *jsonOut && *procs == "" && !*serverBench {
-		fmt.Fprintln(os.Stderr, "-json requires -procs or -server")
+	if *jsonOut && *procs == "" && !*serverBench && !*recoverBench {
+		fmt.Fprintln(os.Stderr, "-json requires -procs, -server, or -recover")
 		os.Exit(2)
 	}
 	if *obsHTTP != "" {
@@ -113,6 +113,23 @@ func main() {
 		return
 	}
 
+	var shardCounts []int
+	for _, f := range splitComma(*shardsList) {
+		var n int
+		if _, err := fmt.Sscanf(f, "%d", &n); err != nil || n <= 0 || n > 64 {
+			fmt.Fprintf(os.Stderr, "bad -shards entry %q (want 1..64)\n", f)
+			os.Exit(2)
+		}
+		shardCounts = append(shardCounts, n)
+	}
+	if *recoverBench {
+		if len(shardCounts) == 0 {
+			shardCounts = []int{1, 2, 4, 8}
+		}
+		runRecoverBench(shardCounts)
+		return
+	}
+
 	variants := []btree.Variant{btree.Normal, btree.Reorg, btree.Shadow}
 	if *hybrid {
 		variants = append(variants, btree.Hybrid)
@@ -135,6 +152,10 @@ func main() {
 		if *ops <= 0 {
 			fmt.Fprintln(os.Stderr, "-ops must be positive")
 			os.Exit(2)
+		}
+		if len(shardCounts) > 0 {
+			runShardScaling(gs, shardCounts)
+			return
 		}
 		runScaling(variants, gs)
 		return

@@ -1,0 +1,377 @@
+package main
+
+// Sharded scaling (-shards with -procs) and parallel-recovery (-recover)
+// benchmarks.
+//
+// The scaling sweep is the §3.6 concurrency benchmark lifted one level:
+// instead of one tree with a striped buffer pool, the keyspace is hash
+// partitioned across N independent trees behind an internal/shard router.
+// The aggregate pool budget is held constant (split across the shards), so
+// any throughput gain comes from multiplying the singletons — per-tree
+// split locks, sync counters, pool stripes — not from extra cache.
+//
+// The recovery benchmark times the paper's no-log restart at shard scale:
+// a crash leaves half-flushed state in every shard; the same crash image
+// (deep-cloned per mode) is then healed once sequentially and once with
+// per-shard goroutines. Repair-on-first-use needs no cross-shard
+// coordination, so the parallel sweep approaches 1/N of the sequential
+// wall time on a device that overlaps I/O.
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/shard"
+	"repro/internal/storage"
+)
+
+var (
+	shardsList   = flag.String("shards", "", "comma-separated shard counts (e.g. 1,2,4,8): run the sharded scaling sweep (-procs) or recovery benchmark (-recover)")
+	recoverBench = flag.Bool("recover", false, "benchmark parallel vs sequential post-crash recovery across -shards counts")
+)
+
+// minShardPool keeps a per-shard pool from degenerating when the aggregate
+// budget is split many ways.
+const minShardPool = 32
+
+type shardCell struct {
+	Op         string  `json:"op"`
+	Shards     int     `json:"shards"`
+	Goroutines int     `json:"goroutines"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// Speedup is vs the 1-shard cell at the same goroutine count — the
+	// single-tree baseline the sharded layout is replacing.
+	Speedup float64 `json:"speedup_vs_one_shard"`
+}
+
+type shardScalingReport struct {
+	Keys       int         `json:"keys"`
+	PoolFrames int         `json:"pool_frames_total"`
+	IOLatUS    int64       `json:"iolat_us"`
+	Ops        int         `json:"ops_per_cell"`
+	Variant    string      `json:"variant"`
+	Results    []shardCell `json:"results"`
+}
+
+// shardSet is one opened shard layout: N trees on N disks behind a router.
+type shardSet struct {
+	disks []*storage.MemDisk
+	trees []*btree.Tree
+	r     *shard.Router
+	next  atomic.Int64 // next ascending append position
+}
+
+func openShardSet(n, totalPool int, v btree.Variant) *shardSet {
+	perShard := totalPool / n
+	if perShard < minShardPool {
+		perShard = minShardPool
+	}
+	s := &shardSet{
+		disks: make([]*storage.MemDisk, n),
+		trees: make([]*btree.Tree, n),
+	}
+	legs := make([]shard.Tree, n)
+	for i := 0; i < n; i++ {
+		s.disks[i] = storage.NewMemDisk()
+		tr, err := btree.Open(s.disks[i], v, btree.Options{PoolSize: perShard, Obs: benchRec})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s.trees[i] = tr
+		legs[i] = tr
+	}
+	r, err := shard.New(legs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s.r = r
+	return s
+}
+
+func (s *shardSet) setLatency(lat time.Duration) {
+	for _, d := range s.disks {
+		d.SetLatency(lat, lat)
+	}
+}
+
+func (s *shardSet) preload(nKeys int) {
+	value := []byte("v00000000")
+	for i := 0; i < nKeys; i++ {
+		if err := s.r.Insert(benchKey(i, 0), value); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := s.r.Sync(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s.next.Store(int64(nKeys))
+}
+
+// runShardScaling sweeps (shard count x goroutine count) cells of the
+// chosen op over a fixed aggregate pool budget.
+//
+// Inserts in this sweep are ASCENDING-key appends (the paper's Table 1
+// insert workload), and in the mixed op each insert is a durable
+// autocommit: insert, then force the owning shard — exactly what the
+// server's autocommit PUT does through the txn layer, where a single-key
+// commit touches one sync domain. This is the serialization sharding
+// exists to remove: Tree.Sync takes the exclusive tree lock and force-
+// writes dirty pages, so on a single tree every commit freezes the whole
+// keyspace (lookups included) and all commit I/O funnels through one
+// domain. N shards mean commits freeze 1/N of the keyspace and their
+// force writes overlap across domains. Lookups stay uniform random over
+// the preloaded range; the plain insert op stays non-durable to isolate
+// latch/split spreading.
+func runShardScaling(gs, shardCounts []int) {
+	nKeys := 80000
+	if *sizes != "10000,20000,40000" {
+		var n int
+		fmt.Sscanf(splitComma(*sizes)[0], "%d", &n)
+		nKeys = n
+	}
+	lat := *ioLat
+	if lat == 0 {
+		lat = 100 * time.Microsecond
+	}
+	totalPool := *pool
+	if totalPool == 0 {
+		totalPool = 256
+	}
+
+	opNames := []string{"lookup", "insert", "mixed"}
+	switch *op {
+	case "lookup", "insert", "mixed":
+		opNames = []string{*op}
+	}
+
+	report := shardScalingReport{
+		Keys: nKeys, PoolFrames: totalPool,
+		IOLatUS: lat.Microseconds(), Ops: *ops,
+		Variant: btree.Shadow.String(),
+	}
+	// base[op][g] = 1-shard ops/sec, the single-tree baseline.
+	base := make(map[string]map[int]float64)
+	for _, nSh := range shardCounts {
+		set := openShardSet(nSh, totalPool, btree.Shadow)
+		set.preload(nKeys)
+		set.setLatency(lat)
+		for _, opName := range opNames {
+			if base[opName] == nil {
+				base[opName] = make(map[int]float64)
+			}
+			for _, g := range gs {
+				if err := set.r.Sync(); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				opsSec := runShardCell(set.r, &set.next, nKeys, g, opName)
+				if _, ok := base[opName][g]; !ok {
+					base[opName][g] = opsSec
+				}
+				report.Results = append(report.Results, shardCell{
+					Op: opName, Shards: nSh, Goroutines: g,
+					OpsPerSec: opsSec, Speedup: opsSec / base[opName][g],
+				})
+			}
+		}
+		set.setLatency(0)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("sharded scaling: %d keys, %d total pool frames, %v/page, variant %s\n\n",
+		nKeys, totalPool, lat, report.Variant)
+	fmt.Printf("%-8s %7s %12s %12s %10s\n", "op", "shards", "goroutines", "ops/sec", "vs 1shard")
+	for _, r := range report.Results {
+		fmt.Printf("%-8s %7d %12d %12.0f %9.2fx\n", r.Op, r.Shards, r.Goroutines, r.OpsPerSec, r.Speedup)
+	}
+}
+
+// runShardCell measures one (router, goroutines, op) cell. Inserts take
+// the next globally ascending position (see runShardScaling).
+func runShardCell(r *shard.Router, next *atomic.Int64, nKeys, g int, opName string) float64 {
+	perG := (*ops + g - 1) / g
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	value := []byte("v00000000")
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			for i := 0; i < perG; i++ {
+				var err error
+				doInsert := opName == "insert" || (opName == "mixed" && i%2 == 1)
+				if doInsert {
+					key := benchKey(int(next.Add(1)), 0)
+					err = r.Insert(key, value)
+					if errors.Is(err, btree.ErrDuplicateKey) {
+						err = nil
+					}
+					if err == nil && opName == "mixed" {
+						// Durable autocommit: force only the owning shard's
+						// sync domain, like a single-key commit.
+						err = r.Shard(r.Pick(key)).Sync()
+					}
+				} else {
+					_, err = r.Lookup(benchKey(rng.Intn(nKeys), 0))
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		os.Exit(1)
+	}
+	return float64(perG*g) / time.Since(start).Seconds()
+}
+
+// --- parallel recovery benchmark (-recover) ------------------------------
+
+type recoverCell struct {
+	Shards       int       `json:"shards"`
+	SequentialMS float64   `json:"sequential_ms"`
+	ParallelMS   float64   `json:"parallel_ms"`
+	Speedup      float64   `json:"speedup"`
+	PerShardMS   []float64 `json:"per_shard_ms"` // from the parallel run
+}
+
+type recoverReport struct {
+	Keys    int           `json:"keys"`
+	IOLatUS int64         `json:"iolat_us"`
+	Results []recoverCell `json:"results"`
+}
+
+// runRecoverBench crashes an N-shard layout mid-flush and times the
+// post-crash heal sweep, sequential vs parallel, over identical clones of
+// the same crash image.
+func runRecoverBench(shardCounts []int) {
+	nKeys := 80000
+	if *sizes != "10000,20000,40000" {
+		var n int
+		fmt.Sscanf(splitComma(*sizes)[0], "%d", &n)
+		nKeys = n
+	}
+	lat := *ioLat
+	if lat == 0 {
+		lat = 100 * time.Microsecond
+	}
+	totalPool := *pool
+	if totalPool == 0 {
+		totalPool = 256
+	}
+
+	report := recoverReport{Keys: nKeys, IOLatUS: lat.Microseconds()}
+	for _, nSh := range shardCounts {
+		// Build the pre-crash state: nKeys committed, a quarter more
+		// in-flight, everything flushed to the OS cache, then a crash that
+		// keeps every other pending page in every shard.
+		set := openShardSet(nSh, totalPool, btree.Shadow)
+		set.preload(nKeys)
+		value := []byte("v00000000")
+		for i := 0; i < nKeys/4; i++ {
+			if err := set.r.Insert(benchKey(rand.New(rand.NewSource(int64(i))).Intn(nKeys), 77), value); err != nil &&
+				!errors.Is(err, btree.ErrDuplicateKey) {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		for i, tr := range set.trees {
+			if err := tr.Pool().FlushDirty(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := set.disks[i].CrashPartial(func(pending []storage.PageNo) []storage.PageNo {
+				var out []storage.PageNo
+				for j, no := range pending {
+					if j%2 == 0 {
+						out = append(out, no)
+					}
+				}
+				return out
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+
+		cell := recoverCell{Shards: nSh}
+		for _, parallel := range []bool{false, true} {
+			// Identical crash image per mode: deep-clone the stable state
+			// and reopen cold (restart = reopen; no log replay exists).
+			legs := make([]shard.Tree, nSh)
+			for i, d := range set.disks {
+				clone := d.CloneStable()
+				clone.SetLatency(lat, lat)
+				tr, err := btree.Open(clone, btree.Shadow, btree.Options{PoolSize: totalPool / nSh, Obs: benchRec})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				legs[i] = tr
+			}
+			r, err := shard.New(legs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			st, _, err := r.Recover(parallel, benchRec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			ms := float64(st.Wall.Microseconds()) / 1000
+			if parallel {
+				cell.ParallelMS = ms
+				for _, d := range st.PerShard {
+					cell.PerShardMS = append(cell.PerShardMS, float64(d.Microseconds())/1000)
+				}
+			} else {
+				cell.SequentialMS = ms
+			}
+		}
+		cell.Speedup = cell.SequentialMS / cell.ParallelMS
+		report.Results = append(report.Results, cell)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("parallel recovery: %d keys, %v/page\n\n", nKeys, lat)
+	fmt.Printf("%7s %14s %12s %9s\n", "shards", "sequential", "parallel", "speedup")
+	for _, c := range report.Results {
+		fmt.Printf("%7d %12.1fms %10.1fms %8.2fx\n", c.Shards, c.SequentialMS, c.ParallelMS, c.Speedup)
+	}
+}

@@ -72,6 +72,9 @@ type Config struct {
 	Variant Variant
 	// PoolSize is the per-file buffer pool capacity in frames.
 	PoolSize int
+	// Shards is the default shard count CreateShardedIndex uses when its
+	// caller passes <= 0. Zero (or 1) means a single tree per index.
+	Shards int
 	// IndexOptions are passed through to every index.
 	IndexOptions btree.Options
 	// Retry bounds transient-I/O retries in every buffer pool the DB
@@ -117,6 +120,11 @@ func (db *DB) IOStats() buffer.IOStats {
 	for _, ix := range db.indexes {
 		add(ix.t.Pool().IOStats())
 	}
+	for _, six := range db.sharded {
+		for _, t := range six.trees {
+			add(t.Pool().IOStats())
+		}
+	}
 	for _, r := range db.rels {
 		add(r.h.Pool().IOStats())
 	}
@@ -146,6 +154,11 @@ func (db *DB) CacheStats() CacheStats {
 	}
 	for name, ix := range db.indexes {
 		add("idx_"+name, ix.t.Pool())
+	}
+	for name, six := range db.sharded {
+		for i, t := range six.trees {
+			add(shardFileName(name, i), t.Pool())
+		}
 	}
 	for name, r := range db.rels {
 		add("rel_"+name, r.h.Pool())
@@ -248,6 +261,7 @@ type DB struct {
 	mu      sync.Mutex
 	rels    map[string]*Relation
 	indexes map[string]*Index
+	sharded map[string]*ShardedIndex
 
 	// Health-state machine (health.go) and repair supervisor
 	// (supervisor.go).
@@ -275,6 +289,7 @@ func Open(store Storage, cfg Config) (*DB, error) {
 		mgr:         mgr,
 		rels:        make(map[string]*Relation),
 		indexes:     make(map[string]*Index),
+		sharded:     make(map[string]*ShardedIndex),
 		healSources: make(map[string]healSource),
 	}
 	if cfg.Supervisor.Enable {
@@ -357,6 +372,13 @@ func (db *DB) Close() error {
 	for _, ix := range db.indexes {
 		if err := ix.t.Close(); err != nil && firstErr == nil {
 			firstErr = err
+		}
+	}
+	for _, six := range db.sharded {
+		for _, t := range six.trees {
+			if err := t.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	for _, r := range db.rels {

@@ -112,6 +112,11 @@ func (db *DB) pools() []*buffer.Pool {
 	for _, ix := range db.indexes {
 		out = append(out, ix.t.Pool())
 	}
+	for _, six := range db.sharded {
+		for _, t := range six.trees {
+			out = append(out, t.Pool())
+		}
+	}
 	for _, r := range db.rels {
 		out = append(out, r.h.Pool())
 	}
@@ -184,6 +189,11 @@ func (db *DB) HealthReport() HealthReport {
 	var pools []named
 	for name, ix := range db.indexes {
 		pools = append(pools, named{"idx_" + name, ix.t.Pool()})
+	}
+	for name, six := range db.sharded {
+		for i, t := range six.trees {
+			pools = append(pools, named{shardFileName(name, i), t.Pool()})
+		}
 	}
 	for name, r := range db.rels {
 		pools = append(pools, named{"rel_" + name, r.h.Pool()})

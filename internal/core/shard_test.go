@@ -1,0 +1,481 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/heap"
+	"repro/internal/obs"
+	"repro/internal/page"
+	"repro/internal/shard"
+	"repro/internal/storage"
+)
+
+func shardKey(i int) []byte {
+	return []byte(fmt.Sprintf("sk%05d", i))
+}
+
+// TestShardedInsertCommitFetch drives the full transactional path through a
+// 4-shard index: inserts route by hash, commits force only the touched
+// shards, lookups and visible fetches resolve through the router, and a
+// range scan sees the union keyspace in global key order.
+func TestShardedInsertCommitFetch(t *testing.T) {
+	const n = 300
+	rec := obs.New(64)
+	db, err := Open(Memory(), Config{Variant: Shadow, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rel, err := db.CreateRelation("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := db.CreateShardedIndex("t_pk", Shadow, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", ix.Shards())
+	}
+
+	for i := 0; i < n; i++ {
+		tx := db.Begin()
+		tid, err := rel.Insert(tx, append([]byte("row-"), shardKey(i)...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.InsertTID(tx, shardKey(i), tid); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every key resolves through the router.
+	for i := 0; i < n; i++ {
+		data, err := ix.FetchVisible(rel, shardKey(i))
+		if err != nil {
+			t.Fatalf("FetchVisible(%d): %v", i, err)
+		}
+		if want := append([]byte("row-"), shardKey(i)...); !bytes.Equal(data, want) {
+			t.Fatalf("key %d = %q", i, data)
+		}
+	}
+
+	// The hash actually spread the keys: every shard holds at least one.
+	for s := 0; s < ix.Shards(); s++ {
+		cnt := 0
+		if err := ix.Tree(s).Scan(nil, nil, func(k, v []byte) bool {
+			if got := shard.PickN(k, ix.Shards()); got != s {
+				t.Fatalf("shard %d holds key %q owned by shard %d", s, k, got)
+			}
+			cnt++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if cnt == 0 {
+			t.Fatalf("shard %d is empty — hash did not spread %d keys", s, n)
+		}
+	}
+
+	// Merged scan: all n keys, in global key order.
+	var last []byte
+	seen := 0
+	err = ix.Scan(nil, nil, func(k []byte, tid heap.TID) bool {
+		if last != nil && bytes.Compare(k, last) <= 0 {
+			t.Fatalf("merged scan out of order: %q after %q", k, last)
+		}
+		last = append(last[:0], k...)
+		seen++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != n {
+		t.Fatalf("merged scan saw %d keys, want %d", seen, n)
+	}
+	if rec.Get(obs.ShardScan) == 0 {
+		t.Fatal("shard.scan not counted")
+	}
+
+	// Stats surfaces: per-shard pools appear in CacheStats and ShardStats.
+	cs := db.CacheStats()
+	for s := 0; s < 4; s++ {
+		name := fmt.Sprintf("idx_t_pk.s%d", s)
+		if _, ok := cs.Partitions[name]; !ok {
+			t.Fatalf("CacheStats missing %q: %v", name, cs.Partitions)
+		}
+	}
+	if st := ix.ShardStats(); len(st) != 4 {
+		t.Fatalf("ShardStats len = %d", len(st))
+	}
+}
+
+// TestShardedMetaMismatch: the shard count is persisted at create time and
+// a reopen with a different count fails typed instead of misrouting keys.
+func TestShardedMetaMismatch(t *testing.T) {
+	store := Memory()
+	db, err := Open(store, Config{Variant: Shadow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateShardedIndex("x", Shadow, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Same handle, wrong count: refused while open.
+	if _, err := db.CreateShardedIndex("x", Shadow, 2); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("open-handle mismatch: %v, want ErrShardMismatch", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen with the wrong count: refused from the persisted meta.
+	db2, err := Open(store, Config{Variant: Shadow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.CreateShardedIndex("x", Shadow, 2); !errors.Is(err, ErrShardMismatch) {
+		t.Fatalf("reopen mismatch: %v, want ErrShardMismatch", err)
+	}
+	// The right count still works, and Config.Shards supplies the default.
+	if _, err := db2.CreateShardedIndex("x", Shadow, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := Open(store, Config{Variant: Shadow, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if _, err := db3.CreateShardedIndex("x", Shadow, 0); err != nil {
+		t.Fatalf("Config.Shards default: %v", err)
+	}
+}
+
+// TestShardedCrashRecoveryParallel is the end-to-end fast-recovery story at
+// shard scale: a crash leaves dirty state in every shard, restart does no
+// log processing, and one parallel Recover sweep heals all shards
+// concurrently — attested by per-shard timings and shard.recover counters —
+// after which every committed key is visible and every in-flight key is not.
+func TestShardedCrashRecoveryParallel(t *testing.T) {
+	const nShards = 4
+	const committed = 400
+	store := Memory()
+	db, err := Open(store, Config{Variant: Shadow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := db.CreateRelation("t")
+	ix, err := db.CreateShardedIndex("t_pk", Shadow, nShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx := db.Begin()
+	for i := 0; i < committed; i++ {
+		tid, err := rel.Insert(tx, append([]byte("row-"), shardKey(i)...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.InsertTID(tx, shardKey(i), tid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second transaction in flight when the machine dies: its inserts
+	// have dirtied pages in every shard.
+	tx2 := db.Begin()
+	for i := committed; i < committed+200; i++ {
+		tid, err := rel.Insert(tx2, append([]byte("row-"), shardKey(i)...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.InsertTID(tx2, shardKey(i), tid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash mid-sync: flush to the OS cache, keep every other pending page.
+	for _, d := range MemoryDisks(store) {
+		if err := d.CrashPartial(func(pending []storage.PageNo) []storage.PageNo {
+			var out []storage.PageNo
+			for i, no := range pending {
+				if i%2 == 0 {
+					out = append(out, no)
+				}
+			}
+			return out
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Restart: reopen and run ONE parallel recovery sweep over all shards.
+	rec := obs.New(obs.DefaultRingCap)
+	db2, err := Open(store, Config{Variant: Shadow, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rel2, _ := db2.CreateRelation("t")
+	ix2, err := db2.CreateShardedIndex("t_pk", Shadow, nShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, rep, err := ix2.Recover(true)
+	if err != nil {
+		t.Fatalf("parallel recover: %v", err)
+	}
+	if !st.Parallel || st.Shards != nShards || len(st.PerShard) != nShards {
+		t.Fatalf("recovery stats: %+v", st)
+	}
+	for i, d := range st.PerShard {
+		if d <= 0 {
+			t.Fatalf("shard %d reported no recovery time", i)
+		}
+	}
+	if len(rep.Skipped) != 0 {
+		t.Fatalf("recovery quarantined %d ranges on clean repairs: %+v", len(rep.Skipped), rep)
+	}
+	if got := rec.Get(obs.ShardRecover); got != nShards {
+		t.Fatalf("shard.recover = %d, want %d (one per shard)", got, nShards)
+	}
+
+	for i := 0; i < committed; i++ {
+		data, err := ix2.FetchVisible(rel2, shardKey(i))
+		if err != nil {
+			t.Fatalf("committed key %d lost: %v", i, err)
+		}
+		if want := append([]byte("row-"), shardKey(i)...); !bytes.Equal(data, want) {
+			t.Fatalf("key %d = %q", i, data)
+		}
+	}
+	for i := committed; i < committed+200; i++ {
+		_, err := ix2.FetchVisible(rel2, shardKey(i))
+		if err == nil {
+			t.Fatalf("uncommitted key %d visible after crash", i)
+		}
+		if !errors.Is(err, ErrKeyNotFound) {
+			t.Fatalf("uncommitted key %d: unexpected error %v", i, err)
+		}
+	}
+	if got := db2.Health(); got != Healthy {
+		t.Fatalf("health after recovery = %v, want Healthy", got)
+	}
+}
+
+// buildFaultyShardedDB is buildFaultyDB with the index partitioned across
+// nShards trees on fault-injectable disks (tuple data = index key).
+func buildFaultyShardedDB(t *testing.T, rec *obs.Recorder, n, nShards int) (*DB, Storage, *Relation, *ShardedIndex) {
+	t.Helper()
+	st := FaultyMemory(storage.FaultConfig{})
+	db, err := Open(st, Config{
+		Variant: Shadow,
+		Obs:     rec,
+		Supervisor: SupervisorConfig{
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  20 * time.Millisecond,
+			GiveUpAfter: 50,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := db.CreateRelation("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := db.CreateShardedIndex("acct_pk", Shadow, nShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	for i := 0; i < n; i++ {
+		tid, err := rel.Insert(tx, shardKey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.InsertTID(tx, shardKey(i), tid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return db, st, rel, ix
+}
+
+// TestShardedSupervisorHealsAllShards quarantines a live leaf in EVERY
+// shard, proves the degraded merged scan and the health machine see all of
+// them (one HealthReport entry per shard file), then clears the faults and
+// lets the parallel supervisor sweep heal every shard back to Healthy.
+func TestShardedSupervisorHealsAllShards(t *testing.T) {
+	const n = 2000
+	const nShards = 4
+	rec := obs.New(obs.DefaultRingCap)
+	db, st, rel, ix := buildFaultyShardedDB(t, rec, n, nShards)
+	defer db.Close()
+
+	fds := FaultDisks(st)
+	type hit struct {
+		fd *storage.FaultDisk
+		no storage.PageNo
+	}
+	var hits []hit
+	for s := 0; s < nShards; s++ {
+		fd := fds[fmt.Sprintf("idx_acct_pk.s%d", s)]
+		if fd == nil {
+			t.Fatalf("no fault disk for shard %d", s)
+		}
+		leaves := liveLeaves(t, fd, 1)
+		if len(leaves) == 0 {
+			t.Fatalf("shard %d has no live leaves — scenario is vacuous", s)
+		}
+		fd.AddPermanentBadSector(leaves[0])
+		hits = append(hits, hit{fd, leaves[0]})
+		ix.Tree(s).Pool().InvalidateAll()
+	}
+
+	// Degraded merged scan: every emitted key correct and in order, one
+	// skipped range reported per damaged shard.
+	var last []byte
+	emitted := make(map[string]bool)
+	rep, err := ix.ScanDegraded(nil, nil, func(k []byte, tid heap.TID) bool {
+		if last != nil && bytes.Compare(k, last) <= 0 {
+			t.Fatalf("degraded merge out of order: %q after %q", k, last)
+		}
+		last = append(last[:0], k...)
+		emitted[string(k)] = true
+		return true
+	})
+	if err != nil {
+		t.Fatalf("ScanDegraded: %v", err)
+	}
+	if len(rep.Skipped) < nShards {
+		t.Fatalf("skipped %d ranges, want >= %d (one per damaged shard)", len(rep.Skipped), nShards)
+	}
+	if len(emitted) == n {
+		t.Fatal("no key was skipped — scenario is vacuous")
+	}
+
+	if got := db.Health(); got != Degraded {
+		t.Fatalf("health = %v, want Degraded", got)
+	}
+	hr := db.HealthReport()
+	files := make(map[string]bool)
+	for _, e := range hr.Quarantined {
+		files[e.File] = true
+	}
+	for s := 0; s < nShards; s++ {
+		if !files[fmt.Sprintf("idx_acct_pk.s%d", s)] {
+			t.Fatalf("HealthReport missing shard %d entry: %+v", s, hr)
+		}
+	}
+
+	// Supervisor with faults present: the parallel sweep attempts (and
+	// fails) every shard's repair.
+	db.SuperviseOnce()
+	if rec.Get(obs.SupervisorFail) == 0 {
+		t.Fatal("supervisor.fail not counted while faults persist")
+	}
+
+	// Faults clear; concurrent per-shard heals promote the DB to Healthy.
+	for _, h := range hits {
+		if !h.fd.ClearBadSector(h.no) {
+			t.Fatalf("bad sector %d was not registered", h.no)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for db.Health() != Healthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("DB never returned to Healthy; report: %+v", db.HealthReport())
+		}
+		time.Sleep(5 * time.Millisecond)
+		db.SuperviseOnce()
+	}
+	if rec.Get(obs.SupervisorRepair) < uint64(nShards) {
+		t.Fatalf("supervisor.repair = %d, want >= %d", rec.Get(obs.SupervisorRepair), nShards)
+	}
+	for i := 0; i < n; i++ {
+		data, err := ix.FetchVisible(rel, shardKey(i))
+		if err != nil || !bytes.Equal(data, shardKey(i)) {
+			t.Fatalf("key %d after heal: %q, %v", i, data, err)
+		}
+	}
+}
+
+// TestShardedRebuildFromHeapRespectsRouting: when one shard's leaf is
+// stably corrupted beyond repair, the supervisor abandons it and re-seeds
+// from the heap — inserting ONLY keys the router hashes to that shard, so
+// the rebuild never plants a key where lookups would miss it.
+func TestShardedRebuildFromHeapRespectsRouting(t *testing.T) {
+	const n = 2000
+	const nShards = 4
+	rec := obs.New(obs.DefaultRingCap)
+	db, st, rel, ix := buildFaultyShardedDB(t, rec, n, nShards)
+	defer db.Close()
+	db.cfg.Supervisor.RebuildAfter = 1
+	db.RegisterShardedHeal(ix, rel, func(data []byte) []byte { return data })
+
+	const victim = 1
+	fd := FaultDisks(st)[fmt.Sprintf("idx_acct_pk.s%d", victim)]
+	if fd == nil {
+		t.Fatal("no fault disk for the victim shard")
+	}
+	leaves := liveLeaves(t, fd, 1)
+	if len(leaves) == 0 {
+		t.Fatal("no live leaf found")
+	}
+	if !fd.CorruptStable(leaves[0], func(img page.Page) { img[page.HeaderSize] ^= 0xFF }) {
+		t.Fatalf("no durable image to corrupt at page %d", leaves[0])
+	}
+	ix.Tree(victim).Pool().InvalidateAll()
+
+	// First touch quarantines the subtree.
+	rep, err := ix.ScanDegraded(nil, nil, func([]byte, heap.TID) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete() {
+		t.Fatal("stable corruption did not quarantine anything — scenario is vacuous")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for db.Health() != Healthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("rebuild never completed; report: %+v", db.HealthReport())
+		}
+		time.Sleep(5 * time.Millisecond)
+		db.SuperviseOnce()
+	}
+	if rec.Get(obs.RepairRebuild) == 0 {
+		t.Fatal("repair.rebuild not counted")
+	}
+
+	// Every key is back, and the rebuilt shard holds only its own keys.
+	for i := 0; i < n; i++ {
+		data, err := ix.FetchVisible(rel, shardKey(i))
+		if err != nil || !bytes.Equal(data, shardKey(i)) {
+			t.Fatalf("key %d after rebuild: %q, %v", i, data, err)
+		}
+	}
+	if err := ix.Tree(victim).Scan(nil, nil, func(k, v []byte) bool {
+		if got := shard.PickN(k, nShards); got != victim {
+			t.Fatalf("rebuild planted key %q (shard %d) into shard %d", k, got, victim)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

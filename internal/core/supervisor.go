@@ -3,12 +3,14 @@ package core
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"time"
 
 	"repro/internal/btree"
 	"repro/internal/buffer"
 	"repro/internal/heap"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/vacuum"
 )
 
@@ -70,6 +72,16 @@ func (db *DB) RegisterHeal(ix *Index, rel *Relation, keyOf vacuum.KeyOf) {
 	db.healSources[ix.name] = healSource{rel: rel, keyOf: keyOf}
 }
 
+// RegisterShardedHeal is RegisterHeal for a sharded index. Rebuilds stay
+// shard-correct: when shard i's page is abandoned, only heap keys that
+// hash to shard i are re-inserted, so a rebuild never plants a key in a
+// tree the router would not search.
+func (db *DB) RegisterShardedHeal(ix *ShardedIndex, rel *Relation, keyOf vacuum.KeyOf) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.healSources[ix.name] = healSource{rel: rel, keyOf: keyOf}
+}
+
 // startSupervisor launches the sweep loop; idempotent.
 func (db *DB) startSupervisor() {
 	if db.super != nil {
@@ -123,11 +135,29 @@ func (db *DB) SuperviseOnce() {
 	for _, r := range db.rels {
 		rels = append(rels, r)
 	}
+	sharded := make([]*ShardedIndex, 0, len(db.sharded))
+	for _, six := range db.sharded {
+		sharded = append(sharded, six)
+	}
 	db.mu.Unlock()
 
 	for _, ix := range indexes {
 		db.superviseIndex(ix, now)
 	}
+	// Shard sweeps run in parallel goroutines: each shard owns its own
+	// quarantine registry and tree, so concurrent heals share no state
+	// (the same independence that lets post-crash recovery parallelize).
+	var wg sync.WaitGroup
+	for _, six := range sharded {
+		for i, t := range six.trees {
+			wg.Add(1)
+			go func(six *ShardedIndex, i int, t *btree.Tree) {
+				defer wg.Done()
+				db.superviseShard(six, i, t, now)
+			}(six, i, t)
+		}
+	}
+	wg.Wait()
 	for _, r := range rels {
 		db.superviseRelation(r, now)
 	}
@@ -139,19 +169,36 @@ func (db *DB) SuperviseOnce() {
 
 // superviseIndex attempts one repair per due quarantined page of ix.
 func (db *DB) superviseIndex(ix *Index, now time.Time) {
-	q := ix.t.Pool().Quarantine()
+	db.superviseTree(ix.name, ix.t, nil, now)
+}
+
+// superviseShard is superviseIndex for one shard of a sharded index. The
+// heap-rebuild fallback gets a key filter restricting re-inserts to keys
+// the router hashes to this shard.
+func (db *DB) superviseShard(six *ShardedIndex, i int, t *btree.Tree, now time.Time) {
+	n := len(six.trees)
+	db.superviseTree(six.name, t, func(key []byte) bool {
+		return shard.PickN(key, n) == i
+	}, now)
+}
+
+// superviseTree attempts one repair per due quarantined page of t, the
+// shared sweep body for single-tree and sharded indexes. keyFilter, when
+// non-nil, restricts heap rebuilds to keys owned by this tree.
+func (db *DB) superviseTree(name string, t *btree.Tree, keyFilter func([]byte) bool, now time.Time) {
+	q := t.Pool().Quarantine()
 	for _, e := range q.Due(now) {
 		var err error
 		rebuild := false
 		db.mu.Lock()
-		src, hasSrc := db.healSources[ix.name]
+		src, hasSrc := db.healSources[name]
 		db.mu.Unlock()
 		if hasSrc && db.cfg.Supervisor.RebuildAfter > 0 &&
 			e.Attempts >= db.cfg.Supervisor.RebuildAfter {
 			rebuild = true
-			err = db.rebuildFromHeap(ix, src, e)
+			err = db.rebuildFromHeap(t, src, keyFilter, e)
 		} else {
-			err = ix.t.HealQuarantined(e.PageNo, e.Lo)
+			err = t.HealQuarantined(e.PageNo, e.Lo)
 		}
 		if err != nil {
 			q.MarkAttempt(e.PageNo)
@@ -196,8 +243,9 @@ func (db *DB) superviseRelation(r *Relation, now time.Time) {
 // via the rebuild fallback) and re-inserts its key range from the heap
 // relation. Only tuple versions visible to current committed state are
 // re-indexed; keys already present elsewhere in the tree are skipped.
-func (db *DB) rebuildFromHeap(ix *Index, src healSource, e buffer.QuarantinedPage) error {
-	if err := ix.t.AbandonQuarantined(e.PageNo, e.Lo); err != nil {
+// keyFilter, when non-nil, drops keys another shard owns.
+func (db *DB) rebuildFromHeap(t *btree.Tree, src healSource, keyFilter func([]byte) bool, e buffer.QuarantinedPage) error {
+	if err := t.AbandonQuarantined(e.PageNo, e.Lo); err != nil {
 		return err
 	}
 	var scanErr error
@@ -209,6 +257,9 @@ func (db *DB) rebuildFromHeap(ix *Index, src healSource, e buffer.QuarantinedPag
 		if key == nil {
 			return true
 		}
+		if keyFilter != nil && !keyFilter(key) {
+			return true
+		}
 		if e.HasRange {
 			if bytes.Compare(key, e.Lo) < 0 {
 				return true
@@ -217,7 +268,7 @@ func (db *DB) rebuildFromHeap(ix *Index, src healSource, e buffer.QuarantinedPag
 				return true
 			}
 		}
-		if err := ix.t.Insert(key, tid.Bytes()); err != nil &&
+		if err := t.Insert(key, tid.Bytes()); err != nil &&
 			!errors.Is(err, btree.ErrDuplicateKey) {
 			scanErr = err
 			return false
@@ -230,5 +281,5 @@ func (db *DB) rebuildFromHeap(ix *Index, src healSource, e buffer.QuarantinedPag
 	if scanErr != nil {
 		return scanErr
 	}
-	return ix.t.Sync()
+	return t.Sync()
 }

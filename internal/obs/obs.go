@@ -89,7 +89,12 @@ const (
 	CommitTxn      // transactions entering the commit path (batched or not)
 	CommitSyncSkip // a batch member's force coalesced onto an already-run sync
 	CommitFail     // a commit aborted by a force or status-write failure
+	CommitFanout   // a batch force fanned out over >1 sync domains in parallel
 	FlushDaemon    // background checkpoint pass flushed the DB's dirty pages
+
+	// Sharded multi-index router (internal/shard).
+	ShardRecover // one shard finished its post-crash recovery sweep
+	ShardScan    // one cross-shard merged range scan served by the router
 
 	numMetrics
 )
@@ -139,7 +144,10 @@ var metricNames = [numMetrics]string{
 	CommitTxn:         "commit.txn",
 	CommitSyncSkip:    "commit.sync.skipped",
 	CommitFail:        "commit.fail",
+	CommitFanout:      "commit.fanout",
 	FlushDaemon:       "flush.daemon",
+	ShardRecover:      "shard.recover",
+	ShardScan:         "shard.scan",
 }
 
 func (m Metric) String() string {

@@ -45,6 +45,10 @@ type Options struct {
 	// Variant is the index algorithm for the primary index (default:
 	// the DB config's default).
 	Variant core.Variant
+	// Shards partitions the primary index across this many independent
+	// B-link trees (hash-routed, merged scans, parallel recovery). 0 or 1
+	// keeps the single-tree index.
+	Shards int
 	// DrainTimeout bounds how long Close waits for in-flight sessions to
 	// finish their current command (default 5s).
 	DrainTimeout time.Duration
@@ -52,9 +56,10 @@ type Options struct {
 
 // Server serves the KV protocol over a core.DB.
 type Server struct {
-	db  *core.DB
-	rel *core.Relation
-	idx *core.Index
+	db      *core.DB
+	rel     *core.Relation
+	idx     core.KVIndex
+	sharded *core.ShardedIndex // nil when the index is single-tree
 
 	drainTimeout time.Duration
 
@@ -83,14 +88,28 @@ func New(db *core.DB, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx, err := db.CreateIndex(opts.Index, opts.Variant)
-	if err != nil {
-		return nil, err
+	var (
+		idx     core.KVIndex
+		sharded *core.ShardedIndex
+	)
+	if opts.Shards > 1 {
+		six, err := db.CreateShardedIndex(opts.Index, opts.Variant, opts.Shards)
+		if err != nil {
+			return nil, err
+		}
+		idx, sharded = six, six
+	} else {
+		six, err := db.CreateIndex(opts.Index, opts.Variant)
+		if err != nil {
+			return nil, err
+		}
+		idx = six
 	}
 	return &Server{
 		db:           db,
 		rel:          rel,
 		idx:          idx,
+		sharded:      sharded,
 		drainTimeout: opts.DrainTimeout,
 		conns:        make(map[net.Conn]struct{}),
 		quit:         make(chan struct{}),

@@ -544,3 +544,106 @@ func TestScanPrefixInterleavedKeys(t *testing.T) {
 		}
 	}
 }
+
+// TestServerShardedSmokeAndCrashRecover runs the protocol against a
+// multi-shard primary index: writes hash across shards, SCAN merges the
+// per-shard streams in key order, STATS exposes the per-shard breakdown
+// plus the commit counters, and a crash + restart recovers every shard.
+func TestServerShardedSmokeAndCrashRecover(t *testing.T) {
+	const nShards = 4
+	store := core.Memory()
+	db, err := core.Open(store, core.Config{Obs: obs.New(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(db, Options{Shards: nShards, DrainTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	cl := dial(t, srv)
+	const n = 60
+	for i := 0; i < n; i++ {
+		cl.expect(fmt.Sprintf("PUT key-%03d val-%d", i, i), "OK")
+	}
+	for i := 0; i < n; i++ {
+		cl.expect(fmt.Sprintf("GET key-%03d", i), fmt.Sprintf("OK val-%d", i))
+	}
+	// Merged scan across shards: full range, in key order.
+	rows, final := cl.scan(fmt.Sprintf("SCAN - - %d", n))
+	if final != fmt.Sprintf("OK %d", n) {
+		t.Fatalf("sharded SCAN: final=%q rows=%d", final, len(rows))
+	}
+	for i, r := range rows {
+		if want := fmt.Sprintf("key-%03d val-%d", i, i); r != want {
+			t.Fatalf("sharded SCAN row %d = %q, want %q", i, r, want)
+		}
+	}
+	// Bounded scan spanning shard boundaries.
+	rows, final = cl.scan("SCAN key-010 key-015")
+	if final != "OK 5" || rows[0] != "key-010 val-10" {
+		t.Fatalf("bounded sharded SCAN: rows=%v final=%q", rows, final)
+	}
+
+	// STATS: per-shard breakdown and the commit batching counters.
+	stats := cl.expectPrefix("STATS", "OK {")
+	for _, field := range []string{
+		`"shards":4`, `"shard_stats":[`, `"commit_sync_skipped":`,
+		`"cache_hits":`, `"cache_misses":`, `"commit_batches":`,
+	} {
+		if !strings.Contains(stats, field) {
+			t.Fatalf("sharded STATS missing %s: %q", field, stats)
+		}
+	}
+
+	// A transaction in flight when the machine dies.
+	loser := dial(t, srv)
+	loser.expectPrefix("BEGIN", "OK ")
+	loser.expect("PUT phantom boo", "OK")
+	for _, d := range core.MemoryDisks(store) {
+		if err := d.CrashPartial(storage.CrashNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Restart against the same files: the shard count is persisted, so
+	// Options{Shards: nShards} reopens the same layout; recovery is just
+	// reopening + serving.
+	db2, err := core.Open(store, core.Config{Obs: obs.New(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	srv2, err := New(db2, Options{Shards: nShards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	cl2 := dial(t, srv2)
+	for i := 0; i < n; i++ {
+		cl2.expect(fmt.Sprintf("GET key-%03d", i), fmt.Sprintf("OK val-%d", i))
+	}
+	cl2.expect("GET phantom", "NOTFOUND")
+	rows, final = cl2.scan(fmt.Sprintf("SCAN - - %d", n))
+	if final != fmt.Sprintf("OK %d", n) {
+		t.Fatalf("post-crash sharded SCAN: final=%q rows=%d", final, len(rows))
+	}
+
+	// A mismatched shard count on the same files is refused loudly.
+	if _, err := New(db2, Options{Relation: "kv2", Index: "kv_pk", Shards: 2}); err == nil {
+		t.Fatal("reopening the sharded index with a different shard count must fail")
+	}
+
+	cl2.expect("QUIT", "OK bye")
+	if err := srv2.Close(); err != nil {
+		t.Fatalf("graceful Close: %v", err)
+	}
+	if err := srv.Close(); err == nil {
+		_ = err // first server died with the "machine"; Close best-effort
+	}
+}

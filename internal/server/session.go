@@ -309,12 +309,20 @@ func (ss *session) cmdScan(rest string) {
 
 func (ss *session) cmdStats() {
 	snap := ss.srv.db.Metrics()
+	cache := ss.srv.db.CacheStats()
 	stats := map[string]any{
-		"health":         ss.srv.db.Health().String(),
-		"commit_txns":    snap.Counters["commit.txn"],
-		"commit_batches": snap.Counters["commit.batch"],
-		"commit_fails":   snap.Counters["commit.fail"],
-		"flush_passes":   snap.Counters["flush.daemon"],
+		"health":              ss.srv.db.Health().String(),
+		"commit_txns":         snap.Counters["commit.txn"],
+		"commit_batches":      snap.Counters["commit.batch"],
+		"commit_fails":        snap.Counters["commit.fail"],
+		"commit_sync_skipped": snap.Counters["commit.sync.skipped"],
+		"flush_passes":        snap.Counters["flush.daemon"],
+		"cache_hits":          cache.Hits,
+		"cache_misses":        cache.Misses,
+	}
+	if six := ss.srv.sharded; six != nil {
+		stats["shards"] = six.Shards()
+		stats["shard_stats"] = six.ShardStats()
 	}
 	b, err := json.Marshal(stats)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/heap"
 	"repro/internal/obs"
@@ -622,3 +623,139 @@ func TestStatusAppendDoesNotRewritePrefix(t *testing.T) {
 		t.Fatalf("append wrote %d pages, want <= 2 (page 0 + tail)", got)
 	}
 }
+
+// --- parallel force fan-out ----------------------------------------------
+
+// rendezvousSyncer blocks inside Sync until every sibling syncer is also
+// inside Sync. A commit whose batch touches N of these can only finish if
+// the leader forces all N concurrently — a sequential force deadlocks.
+type rendezvousSyncer struct {
+	entered *sync.WaitGroup
+	release chan struct{}
+}
+
+func (r *rendezvousSyncer) Sync() error {
+	r.entered.Done()
+	<-r.release
+	return nil
+}
+
+// TestBatchForceFansOut proves the Step-1 force of a batch spanning
+// several sync domains (distinct Syncers — with a sharded index, the
+// shards a transaction's writes hashed to) overlaps the domains' device
+// syncs instead of serializing them, counts commit.fanout, and still ends
+// in one ordinary status append.
+func TestBatchForceFansOut(t *testing.T) {
+	d := storage.NewMemDisk()
+	m, err := OpenManager(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New(64)
+	m.SetObs(rec)
+
+	const domains = 4
+	var entered sync.WaitGroup
+	entered.Add(domains)
+	release := make(chan struct{})
+	go func() {
+		entered.Wait()
+		close(release)
+	}()
+
+	tx := m.Begin()
+	for i := 0; i < domains; i++ {
+		tx.Touch(&rendezvousSyncer{entered: &entered, release: release})
+	}
+	done := make(chan error, 1)
+	go func() { done <- tx.Commit() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("commit stuck — batch forces did not overlap across sync domains")
+	}
+	if rec.Get(obs.CommitFanout) == 0 {
+		t.Fatal("commit.fanout not counted for a multi-domain batch")
+	}
+	if !m.Committed(tx.XID()) {
+		t.Fatal("transaction not visible after fanned-out commit")
+	}
+	// Durability: the status append covered the XID.
+	m2, err := OpenManager(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Committed(tx.XID()) {
+		t.Fatal("commit record not durable")
+	}
+}
+
+// TestBatchForceFanoutFailureIsolated: when one domain's force fails mid
+// fan-out, only transactions that touched that domain abort; the rest of
+// the batch commits — same isolation contract as the sequential force.
+func TestBatchForceFanoutFailureIsolated(t *testing.T) {
+	d := storage.NewMemDisk()
+	m, err := OpenManager(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New(64)
+	m.SetObs(rec)
+
+	good := &gateSyncer{}
+	bad := &failSyncer{err: errDeviceGone}
+
+	txGood := m.Begin()
+	txGood.Touch(good)
+	txBad := m.Begin()
+	txBad.Touch(good)
+	txBad.Touch(bad)
+
+	// Pile both into one batch: block the leader's queue drain by holding
+	// leadership with a gated commit first.
+	gate := &gateSyncer{gate: make(chan struct{})}
+	txGate := m.Begin()
+	txGate.Touch(gate)
+	var wg sync.WaitGroup
+	errsCh := make([]error, 3)
+	wg.Add(1)
+	go func() { defer wg.Done(); errsCh[0] = txGate.Commit() }()
+	for gate.count() == 0 {
+		runtime.Gosched()
+	}
+	wg.Add(2)
+	go func() { defer wg.Done(); errsCh[1] = txGood.Commit() }()
+	go func() { defer wg.Done(); errsCh[2] = txBad.Commit() }()
+	for {
+		m.gc.mu.Lock()
+		n := len(m.gc.queue)
+		m.gc.mu.Unlock()
+		if n == 2 {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(gate.gate)
+	wg.Wait()
+
+	if errsCh[0] != nil || errsCh[1] != nil {
+		t.Fatalf("clean transactions failed: %v, %v", errsCh[0], errsCh[1])
+	}
+	if !errors.Is(errsCh[2], ErrCommitFailed) {
+		t.Fatalf("transaction on the failed domain: %v, want ErrCommitFailed", errsCh[2])
+	}
+	if !m.Committed(txGood.XID()) || m.Committed(txBad.XID()) {
+		t.Fatalf("visibility wrong: good=%v bad=%v",
+			m.Committed(txGood.XID()), m.Committed(txBad.XID()))
+	}
+}
+
+// failSyncer always fails with the given error.
+type failSyncer struct{ err error }
+
+func (f *failSyncer) Sync() error { return f.err }
+
+var errDeviceGone = errors.New("txn_test: device gone")

@@ -286,15 +286,41 @@ func (m *Manager) runBatch(batch []*commitReq) {
 
 	// Step 1: the batched force. Each Syncer is forced once no matter how
 	// many batch members touched it — legal because the §2 sync is
-	// unordered and covers every dirty page regardless of owner.
+	// unordered and covers every dirty page regardless of owner. The
+	// distinct Syncers are collected first, then forced in parallel
+	// goroutines: nothing orders one object's unordered sync against
+	// another's, and with sharded indexes a batch routinely spans several
+	// independent sync domains whose device flushes overlap.
 	forced := make(map[Syncer]error)
+	var distinct []Syncer
 	for _, r := range batch {
 		for _, s := range r.t.touched {
 			if _, done := forced[s]; done {
 				m.obs.Count(obs.CommitSyncSkip)
 				continue
 			}
-			forced[s] = s.Sync()
+			forced[s] = nil
+			distinct = append(distinct, s)
+		}
+	}
+	switch len(distinct) {
+	case 0:
+	case 1:
+		forced[distinct[0]] = distinct[0].Sync()
+	default:
+		m.obs.Count(obs.CommitFanout)
+		errs := make([]error, len(distinct))
+		var wg sync.WaitGroup
+		for i, s := range distinct {
+			wg.Add(1)
+			go func(i int, s Syncer) {
+				defer wg.Done()
+				errs[i] = s.Sync()
+			}(i, s)
+		}
+		wg.Wait()
+		for i, s := range distinct {
+			forced[s] = errs[i]
 		}
 	}
 
