@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-short race repair-coverage quarantine nested-faults bench bench-smoke bench-parallel server-smoke bench-server shard-smoke bench-shards
+.PHONY: check vet build test test-short race repair-coverage quarantine nested-faults bench bench-smoke bench-parallel server-smoke bench-server shard-smoke bench-shards hotpath-smoke bench-hotpath
 
-check: vet build test race repair-coverage quarantine nested-faults bench-smoke server-smoke shard-smoke
+check: vet build test race repair-coverage quarantine nested-faults bench-smoke server-smoke shard-smoke hotpath-smoke
 
 vet:
 	$(GO) vet ./...
@@ -92,6 +92,24 @@ shard-smoke:
 	$(GO) test -race ./internal/core -run TestSharded
 	$(GO) test -race ./internal/txn -run TestBatchForce
 	$(GO) test -race ./internal/server -run TestServerSharded
+
+# The hot-path gate: the zero-allocation point-op assertions (a warm lookup
+# hit and a no-split insert must not touch the heap), batched inserts racing
+# point inserts under the race detector, the scan-resistant eviction tests
+# (including the exact legacy-clock fallback for tiny stripes), and the
+# batched MPUT verb end to end over TCP.
+hotpath-smoke:
+	$(GO) test ./internal/btree -run 'ZeroAllocs|TestInsertBatch|TestLookupInto'
+	$(GO) test -race ./internal/btree -run TestInsertBatchConcurrent
+	$(GO) test ./internal/buffer -run 'TestScanResist|TestTinyPool|TestSetLegacy'
+	$(GO) test -race ./internal/server -run TestServerMput
+
+# The hot-path measurement suite behind BENCH_hotpath.json (see
+# EXPERIMENTS.md E11): point-op ns/op and allocs/op, batched vs single
+# durable write throughput, and the scan-heavy eviction hit rates. Supports
+# -cpuprofile/-memprofile for drill-downs.
+bench-hotpath:
+	$(GO) run ./cmd/fastrec-bench -hotpath
 
 # The shard-scaling and parallel-recovery sweeps behind the "sharded" and
 # "recovery" sections of BENCH_concurrency.json (see EXPERIMENTS.md).

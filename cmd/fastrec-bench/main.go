@@ -95,6 +95,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "obs: serving expvar metrics at http://%s/debug/vars\n", *obsHTTP)
 	}
 
+	if *hotpathBench {
+		runHotpathBench()
+		return
+	}
+
 	if *serverBench {
 		var cs []int
 		for _, f := range splitComma(*clientsList) {

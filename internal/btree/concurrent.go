@@ -144,10 +144,12 @@ func (t *Tree) sharedPageOK(p page.Page, isRoot bool, rootTok uint64, level int,
 }
 
 // descendSharedLeaf walks root-to-leaf holding one latch at a time and
-// returns the pinned (unlatched) leaf covering key with its cloned range
-// bounds. empty reports an empty tree. Validation failures are classified
-// against version v.
-func (t *Tree) descendSharedLeaf(key []byte, v uint64) (leaf *buffer.Frame, lo, hi []byte, empty bool, err error) {
+// returns the pinned (unlatched) leaf covering key with its range bounds.
+// The bounds are staged in sc and alias its buffers: they are valid until
+// the caller releases the scratch, and must be cloned to outlive it.
+// empty reports an empty tree. Validation failures are classified against
+// version v.
+func (t *Tree) descendSharedLeaf(key []byte, v uint64, sc *descentScratch) (leaf *buffer.Frame, lo, hi []byte, empty bool, err error) {
 	mf, err := t.pool.Get(0)
 	if err != nil {
 		return nil, nil, nil, false, err
@@ -203,9 +205,10 @@ func (t *Tree) descendSharedLeaf(key []byte, v uint64) (leaf *buffer.Frame, lo, 
 			f.Unpin()
 			return nil, nil, nil, false, t.classify(v)
 		}
-		// childRange returns slices into the latched page: clone before
-		// the latch drops.
-		cLo, cHi = cloneBytes(cLo), cloneBytes(cHi)
+		// childRange returns slices into the latched page (or the bounds
+		// staged at the previous level): stage into the scratch's other
+		// buffer pair before the latch drops.
+		cLo, cHi = sc.stage(cLo, cHi)
 		level = int(p.Level()) - 1
 		child, gerr := t.pool.Get(it.child) // pin-before-unlatch
 		f.RUnlatch()
@@ -244,9 +247,13 @@ func (t *Tree) trustedPeerHopOK(p page.Page, fromNo uint32, fromTok uint64) bool
 
 // lookupShared is the shared-mode lookup body: one latched descent, a
 // latched leaf search, and — when a concurrent split may have moved the
-// key right — a bounded trusted-peer chase before retrying.
-func (t *Tree) lookupShared(key []byte, v uint64) ([]byte, error) {
-	f, _, _, empty, err := t.descendSharedLeaf(key, v)
+// key right — a bounded trusted-peer chase before retrying. On a hit the
+// value is appended to dst (which may be nil), so a caller recycling its
+// buffer pays no allocation.
+func (t *Tree) lookupShared(key, dst []byte, v uint64) ([]byte, error) {
+	sc := getDescent()
+	defer putDescent(sc)
+	f, _, _, empty, err := t.descendSharedLeaf(key, v, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +280,7 @@ func (t *Tree) lookupShared(key []byte, v uint64) ([]byte, error) {
 				f.Unpin()
 				return nil, t.classify(v)
 			}
-			out := cloneBytes(val)
+			out := append(dst, val...)
 			f.RUnlatch()
 			f.Unpin()
 			return out, nil // positive results are authoritative
@@ -319,7 +326,9 @@ func (t *Tree) lookupShared(key []byte, v uint64) ([]byte, error) {
 // the whole leaf update under the leaf's write latch. Structural work
 // (splits) and anything touching repair or blocked syncs is delegated.
 func (t *Tree) insertShared(key, value []byte, v uint64) error {
-	f, _, _, empty, err := t.descendSharedLeaf(key, v)
+	sc := getDescent()
+	defer putDescent(sc)
+	f, _, _, empty, err := t.descendSharedLeaf(key, v, sc)
 	if err != nil {
 		return err
 	}
@@ -371,8 +380,7 @@ func (t *Tree) insertShared(key, value []byte, v uint64) error {
 			t.obs.Count(obs.BackupReclaim)
 		}
 	}
-	item := encodeLeafItem(key, value)
-	if p.CanFit(len(item)) {
+	if p.CanFit(leafItemLen(key, value)) {
 		if ierr := insertLeaf(p, key, value); ierr != nil {
 			f.WUnlatch()
 			f.Unpin()
@@ -411,7 +419,7 @@ func (t *Tree) descendSharedPath(key []byte) ([]pathEntry, error) {
 	if gerr != nil {
 		return nil, gerr
 	}
-	path := []pathEntry{{no: rootNo, frame: rf, idx: -1}}
+	path := append(newPath(), pathEntry{no: rootNo, frame: rf, idx: -1})
 	isRoot := true
 	level := -1
 	for depth := 0; depth < maxSharedDepth; depth++ {
@@ -517,8 +525,7 @@ func (t *Tree) insertSplitShared(key, value []byte) error {
 			t.obs.Count(obs.BackupReclaim)
 		}
 	}
-	item := encodeLeafItem(key, value)
-	if lf.Data.CanFit(len(item)) {
+	if lf.Data.CanFit(leafItemLen(key, value)) {
 		// Reclaiming backups (or a racing delete — impossible, they are
 		// exclusive — or simply a stale fullness observation) made room.
 		ierr := insertLeaf(lf.Data, key, value)
@@ -630,7 +637,12 @@ func (t *Tree) scanShared(start, end []byte, fn func(key, value []byte) bool) ([
 			}
 			continue
 		}
-		leaf, _, hi, empty, err := t.descendSharedLeaf(cur, v)
+		sc := getDescent()
+		leaf, _, hi, empty, err := t.descendSharedLeaf(cur, v, sc)
+		// The cursor advance below persists hi past this iteration's
+		// descent, so detach it from the scratch before recycling.
+		hi = cloneBytes(hi)
+		putDescent(sc)
 		if errors.Is(err, errRetryShared) {
 			if rerr := retry(); rerr != nil {
 				return cur, rerr

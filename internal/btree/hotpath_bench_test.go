@@ -1,0 +1,92 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// The BenchmarkHotpath* family reports allocs/op for the hot point paths.
+// `go test -bench Hotpath -benchmem ./internal/btree` should show 0 B/op
+// and 0 allocs/op for the warm lookup and (away from splits) the insert;
+// the hard gates live in hotpath_test.go.
+
+func BenchmarkHotpathLookup(b *testing.B) {
+	tr, err := Open(storage.NewMemDisk(), Hybrid, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 10000
+	key := make([]byte, 4)
+	value := []byte("v00000000")
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint32(key, uint32(i))
+		if err := tr.Insert(key, value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dst := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.BigEndian.PutUint32(key, uint32(i%n))
+		if _, err := tr.LookupInto(key, dst[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotpathInsert(b *testing.B) {
+	tr, err := Open(storage.NewMemDisk(), Hybrid, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := make([]byte, 4)
+	value := []byte("v00000000")
+	for i := 0; i < 8; i++ { // past root creation
+		binary.BigEndian.PutUint32(key, uint32(i))
+		if err := tr.Insert(key, value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.BigEndian.PutUint32(key, uint32(8+i))
+		if err := tr.Insert(key, value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotpathInsertBatch(b *testing.B) {
+	for _, batchSz := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("batch%d", batchSz), func(b *testing.B) {
+			tr, err := Open(storage.NewMemDisk(), Hybrid, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			value := []byte("v00000000")
+			keys := make([][]byte, batchSz)
+			values := make([][]byte, batchSz)
+			for i := range keys {
+				keys[i] = make([]byte, 4)
+				values[i] = value
+			}
+			next := uint32(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batchSz {
+				for j := range keys {
+					binary.BigEndian.PutUint32(keys[j], next)
+					next++
+				}
+				if err := tr.InsertBatch(keys, values); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

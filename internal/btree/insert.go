@@ -89,8 +89,7 @@ func (t *Tree) insertLocked(key, value []byte) error {
 		return err
 	}
 
-	item := encodeLeafItem(key, value)
-	if leaf.frame.Data.CanFit(len(item)) {
+	if leaf.frame.Data.CanFit(leafItemLen(key, value)) {
 		if err := insertLeaf(leaf.frame.Data, key, value); err != nil {
 			return err
 		}

@@ -39,6 +39,10 @@ const MaxValueSize = 1024
 // The page layer adds its own length framing, so the value needs no length
 // of its own.
 
+// leafItemLen is the encoded payload size of a leaf item, for fit checks
+// and in-place encodes that never build the intermediate buffer.
+func leafItemLen(key, value []byte) int { return 2 + len(key) + len(value) }
+
 func encodeLeafItem(key, value []byte) []byte {
 	buf := make([]byte, 2+len(key)+len(value))
 	putU16(buf, len(key))

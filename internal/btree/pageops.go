@@ -124,10 +124,16 @@ func insertLeaf(p page.Page, key, value []byte) error {
 	if found {
 		return fmt.Errorf("%w: %q", ErrDuplicateKey, key)
 	}
-	off, err := p.AddItem(encodeLeafItem(key, value))
+	// Encode straight into the page's item area: the item is fully
+	// written before InsertSlot links it, so the careful ordering holds
+	// without an intermediate buffer.
+	off, payload, err := p.ReserveItem(leafItemLen(key, value))
 	if err != nil {
 		return err
 	}
+	putU16(payload, len(key))
+	copy(payload[2:], key)
+	copy(payload[2+len(key):], value)
 	p.ClearFlag(page.FlagLineClean)
 	if err := p.InsertSlot(pos, off); err != nil {
 		return err

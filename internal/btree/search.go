@@ -23,11 +23,15 @@ type pathEntry struct {
 	idx    int           // entry index followed to the child below (-1 at the leaf)
 }
 
-// releasePath unpins every frame on the path.
+// releasePath unpins every frame on the path and recycles the slice; the
+// caller must not touch the path afterwards. Entry bounds that must
+// outlive the release are cloned by their takers (they are independent
+// heap bytes, so value copies of an entry stay valid).
 func releasePath(path []pathEntry) {
 	for _, e := range path {
 		e.frame.Unpin()
 	}
+	putPath(path)
 }
 
 // protected reports whether this variant performs crash detection at all.
@@ -154,7 +158,7 @@ func (t *Tree) descendPath(key []byte, repair bool) ([]pathEntry, error) {
 	if rootNo == 0 {
 		return nil, nil
 	}
-	path := []pathEntry{{no: rootNo, frame: rootFrame, lo: nil, hi: nil, idx: -1}}
+	path := append(newPath(), pathEntry{no: rootNo, frame: rootFrame, lo: nil, hi: nil, idx: -1})
 	for {
 		cur := &path[len(path)-1]
 		p := cur.frame.Data
@@ -308,10 +312,12 @@ func (t *Tree) findLeaf(key []byte, repair bool) (f *buffer.Frame, no uint32, lo
 		return nil, 0, nil, nil, false, nil
 	}
 	leaf := path[len(path)-1]
-	// Keep only the leaf pinned.
+	// Keep only the leaf pinned; the entry value copy keeps its cloned
+	// bounds valid after the slice is recycled.
 	for _, e := range path[:len(path)-1] {
 		e.frame.Unpin()
 	}
+	putPath(path)
 	return leaf.frame, leaf.no, leaf.lo, leaf.hi, true, nil
 }
 
@@ -319,6 +325,14 @@ func (t *Tree) findLeaf(key []byte, repair bool) (f *buffer.Frame, no uint32, lo
 // parallel; if a crash left damage on the path, the lookup upgrades to the
 // exclusive lock, repairs, and retries — recovery on first use.
 func (t *Tree) Lookup(key []byte) ([]byte, error) {
+	return t.LookupInto(key, nil)
+}
+
+// LookupInto is Lookup with caller-owned result storage: the value is
+// appended to dst (which may be nil) and the extended slice returned. A
+// caller that recycles dst across calls makes a warm hit allocation-free;
+// Lookup itself is LookupInto with a nil dst.
+func (t *Tree) LookupInto(key, dst []byte) ([]byte, error) {
 	if err := validateKey(key); err != nil {
 		return nil, err
 	}
@@ -333,7 +347,7 @@ func (t *Tree) Lookup(key []byte) ([]byte, error) {
 		if ver%2 != 0 {
 			err = errRetryShared // split in flight: snapshot again
 		} else {
-			val, err = t.lookupShared(key, ver)
+			val, err = t.lookupShared(key, dst, ver)
 		}
 		t.mu.RUnlock()
 		if errors.Is(err, errRetryShared) {
@@ -353,7 +367,11 @@ func (t *Tree) Lookup(key []byte) ([]byte, error) {
 	t.obs.Count(obs.ExclusiveFallback)
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.lookupLocked(key, true)
+	val, err := t.lookupLocked(key, true)
+	if err != nil || dst == nil {
+		return val, err
+	}
+	return append(dst, val...), nil
 }
 
 func (t *Tree) lookupLocked(key []byte, repair bool) ([]byte, error) {

@@ -118,20 +118,37 @@ type PartitionStat struct {
 	Partition int   `json:"partition"`
 	Frames    int   `json:"frames"`
 	Quota     int   `json:"quota"`
+	Protected int   `json:"protected"`
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 }
 
-// partition is one lock stripe of the pool: a frame map plus a clock hand
-// over the frames this stripe caches (pages with pageNo % nParts == index).
+// partition is one lock stripe of the pool: a frame map plus the eviction
+// state over the frames this stripe caches (pages with pageNo % nParts ==
+// index).
+//
+// Eviction is a 2Q/midpoint variant when the stripe is big enough
+// (twoQ): new admissions enter the probationary segment (clock); a frame
+// re-referenced while probationary is promoted to the protected segment at
+// sweep time instead of getting a second chance, and protected overflow is
+// demoted back. A sequential scan of any length only ever churns the
+// probationary segment, so it cannot flush the re-referenced working set —
+// the supervisor sweeps and large SCANs stop evicting hot pages. Tiny
+// stripes (quota < framesPerPartition) keep the exact legacy single-clock
+// second-chance behavior, as does SetLegacyEviction.
 type partition struct {
 	pool *Pool
 
 	mu     sync.RWMutex
 	frames map[storage.PageNo]*Frame
-	quota  int      // max frames resident in this stripe
-	clock  []*Frame // eviction candidates, swept by the clock hand
-	hand   int      // clock hand position
+	quota  int // max frames resident in this stripe
+
+	twoQ     bool     // scan-resistant segmented mode
+	clock    []*Frame // probationary segment (the whole clock in legacy mode)
+	hand     int      // probationary clock hand
+	prot     []*Frame // protected segment (re-referenced while probationary)
+	protHand int      // protected clock hand
+	protCap  int      // protected-segment quota (~3/4 of the stripe)
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -183,6 +200,13 @@ type Frame struct {
 
 	// valid is protected by the owning partition's mutex.
 	valid bool
+	// seen is the correlated-reference filter for the segmented sweep:
+	// set when the probationary hand finds the frame referenced, so that
+	// promotion to the protected segment requires the reference bit on two
+	// distinct encounters. A one-shot scan that touches a page twice in
+	// quick succession sets ref once and never again — it earns a second
+	// chance, not residence. Protected by the owning partition's mutex.
+	seen bool
 	// zeroRouted records that this frame's durable image failed
 	// verification and was served as a zero page for crash repair; the
 	// next write of valid contents counts as a torn-page repair. Set
@@ -224,9 +248,11 @@ func NewPool(disk storage.Disk, capacity int) *Pool {
 	quota := (capacity + n - 1) / n
 	for i := range p.parts {
 		p.parts[i] = &partition{
-			pool:   p,
-			frames: make(map[storage.PageNo]*Frame),
-			quota:  quota,
+			pool:    p,
+			frames:  make(map[storage.PageNo]*Frame),
+			quota:   quota,
+			twoQ:    quota >= framesPerPartition,
+			protCap: quota * 3 / 4,
 		}
 	}
 	rp := DefaultRetryPolicy
@@ -306,7 +332,8 @@ func (p *Pool) ProbeDurable(no storage.PageNo) bool {
 	if no >= p.disk.NumPages() {
 		return false
 	}
-	buf := page.New()
+	buf := page.GetScratch()
+	defer page.PutScratch(buf)
 	if err := p.readPageRetry(no, buf); err != nil {
 		return false
 	}
@@ -377,12 +404,7 @@ func (p *Pool) Get(no storage.PageNo) (*Frame, error) {
 		pt.mu.Lock()
 		f.valid = false
 		delete(pt.frames, no)
-		for i, cf := range pt.clock {
-			if cf == f {
-				pt.clock = append(pt.clock[:i], pt.clock[i+1:]...)
-				break
-			}
-		}
+		pt.unlistLocked(f)
 		pt.mu.Unlock()
 		return nil, err
 	}
@@ -594,8 +616,11 @@ func (pt *partition) ensureRoomLocked() (dropped bool, err error) {
 	if len(pt.frames) < pt.quota {
 		return false, nil
 	}
-	// Two sweeps: the first clears reference bits, the second takes the
-	// first unreferenced unpinned frame.
+	if pt.twoQ {
+		return pt.evict2QLocked()
+	}
+	// Legacy single clock. Two sweeps: the first clears reference bits,
+	// the second takes the first unreferenced unpinned frame.
 	for sweep := 0; sweep < 2*len(pt.clock); sweep++ {
 		if len(pt.clock) == 0 {
 			break
@@ -613,30 +638,154 @@ func (pt *partition) ensureRoomLocked() (dropped bool, err error) {
 			pt.hand++
 			continue
 		}
-		if f.dirty.Load() {
-			// Write back outside the lock, then let the caller restart:
-			// on the next pass the frame is clean (unless re-dirtied) and
-			// evicts without I/O.
-			pt.pool.rec().Count(obs.EvictDirty)
-			f.pins.Add(1)
-			pt.mu.Unlock()
-			f.RLatch()
-			var werr error
-			if f.dirty.Load() {
-				werr = pt.pool.writeFrame(f)
-			}
-			f.RUnlatch()
-			pt.mu.Lock()
-			f.pins.Add(-1)
-			return true, werr
-		}
-		f.valid = false
-		delete(pt.frames, f.pageNo)
-		pt.clock = append(pt.clock[:pt.hand], pt.clock[pt.hand+1:]...)
-		pt.pool.rec().Count(obs.EvictClean)
-		return false, nil
+		return pt.evictFrameLocked(f, &pt.clock, pt.hand)
 	}
 	return false, fmt.Errorf("buffer: all %d frames pinned", len(pt.frames))
+}
+
+// evict2QLocked is the segmented sweep. Probationary frames are evicted on
+// their first unreferenced encounter; a referenced probationary frame is
+// promoted to the protected segment (its reuse is the 2Q admission
+// signal), with protected overflow demoted back. Only when the
+// probationary segment yields nothing does the sweep fall back to a
+// classic second-chance pass over the protected segment.
+func (pt *partition) evict2QLocked() (dropped bool, err error) {
+	for budget := 2*len(pt.clock) + 2; budget > 0 && len(pt.clock) > 0; budget-- {
+		if pt.hand >= len(pt.clock) {
+			pt.hand = 0
+		}
+		f := pt.clock[pt.hand]
+		if f.pins.Load() > 0 || !f.valid || f.pageNo == detachedPageNo {
+			pt.hand++
+			continue
+		}
+		if f.ref.Load() {
+			f.ref.Store(false)
+			if f.seen {
+				// Referenced on two distinct sweep encounters: sustained
+				// reuse, not a correlated burst. Promote to protected.
+				f.seen = false
+				pt.clock = append(pt.clock[:pt.hand], pt.clock[pt.hand+1:]...)
+				pt.prot = append(pt.prot, f)
+				pt.pool.rec().Count(obs.EvictPromote)
+				pt.rebalanceProtLocked()
+			} else {
+				// First re-reference may be the tail of a correlated pair
+				// of touches on a one-shot page (2Q's A1in insight): give
+				// a second chance and promote only if the frame is
+				// referenced again before the hand returns.
+				f.seen = true
+				pt.hand++
+			}
+			continue
+		}
+		return pt.evictFrameLocked(f, &pt.clock, pt.hand)
+	}
+	for budget := 2*len(pt.prot) + 2; budget > 0 && len(pt.prot) > 0; budget-- {
+		if pt.protHand >= len(pt.prot) {
+			pt.protHand = 0
+		}
+		f := pt.prot[pt.protHand]
+		if f.pins.Load() > 0 || !f.valid || f.pageNo == detachedPageNo {
+			pt.protHand++
+			continue
+		}
+		if f.ref.Load() {
+			f.ref.Store(false)
+			pt.protHand++
+			continue
+		}
+		return pt.evictFrameLocked(f, &pt.prot, pt.protHand)
+	}
+	return false, fmt.Errorf("buffer: all %d frames pinned", len(pt.frames))
+}
+
+// rebalanceProtLocked demotes least-recently-used protected frames back to
+// the probationary tail until the protected segment fits its quota, giving
+// each a second chance via its reference bit first.
+func (pt *partition) rebalanceProtLocked() {
+	for budget := 2*len(pt.prot) + 2; budget > 0 && len(pt.prot) > pt.protCap; budget-- {
+		if pt.protHand >= len(pt.prot) {
+			pt.protHand = 0
+		}
+		f := pt.prot[pt.protHand]
+		if f.pins.Load() > 0 || !f.valid || f.pageNo == detachedPageNo {
+			pt.protHand++
+			continue
+		}
+		if f.ref.Load() {
+			f.ref.Store(false)
+			pt.protHand++
+			continue
+		}
+		pt.prot = append(pt.prot[:pt.protHand], pt.prot[pt.protHand+1:]...)
+		f.seen = false // a demoted frame must re-earn its promotion
+		pt.clock = append(pt.clock, f)
+		pt.pool.rec().Count(obs.EvictDemote)
+	}
+}
+
+// evictFrameLocked finishes evicting victim f at position idx of *list.
+// Dirty victims are written back outside the stripe lock, then the caller
+// restarts (dropped=true): on the next pass the frame is clean (unless
+// re-dirtied) and evicts without I/O.
+func (pt *partition) evictFrameLocked(f *Frame, list *[]*Frame, idx int) (dropped bool, err error) {
+	if f.dirty.Load() {
+		pt.pool.rec().Count(obs.EvictDirty)
+		f.pins.Add(1)
+		pt.mu.Unlock()
+		f.RLatch()
+		var werr error
+		if f.dirty.Load() {
+			werr = pt.pool.writeFrame(f)
+		}
+		f.RUnlatch()
+		pt.mu.Lock()
+		f.pins.Add(-1)
+		return true, werr
+	}
+	f.valid = false
+	delete(pt.frames, f.pageNo)
+	*list = append((*list)[:idx], (*list)[idx+1:]...)
+	pt.pool.rec().Count(obs.EvictClean)
+	return false, nil
+}
+
+// unlistLocked removes f from whichever segment holds it (probationary or
+// protected); a frame never appears in both.
+func (pt *partition) unlistLocked(f *Frame) {
+	for i, cf := range pt.clock {
+		if cf == f {
+			pt.clock = append(pt.clock[:i], pt.clock[i+1:]...)
+			return
+		}
+	}
+	for i, cf := range pt.prot {
+		if cf == f {
+			pt.prot = append(pt.prot[:i], pt.prot[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetLegacyEviction forces every stripe onto the legacy single-clock
+// second-chance policy (true) or restores the default segmented policy for
+// stripes large enough to use it (false). Forcing legacy folds the
+// protected segment back into the clock. Used by benchmarks and tests to
+// compare the two policies on identical workloads.
+func (p *Pool) SetLegacyEviction(legacy bool) {
+	for _, pt := range p.parts {
+		pt.mu.Lock()
+		if legacy {
+			pt.twoQ = false
+			pt.clock = append(pt.clock, pt.prot...)
+			pt.prot = nil
+			pt.protHand = 0
+		} else {
+			pt.twoQ = pt.quota >= framesPerPartition
+		}
+		pt.mu.Unlock()
+	}
 }
 
 // Unpin releases one pin on f.
@@ -696,12 +845,7 @@ func (p *Pool) Remap(f *Frame, no storage.PageNo) {
 	defer pt.mu.Unlock()
 	if old, ok := pt.frames[no]; ok && old != f {
 		old.valid = false
-		for i, cf := range pt.clock {
-			if cf == old {
-				pt.clock = append(pt.clock[:i], pt.clock[i+1:]...)
-				break
-			}
-		}
+		pt.unlistLocked(old)
 		delete(pt.frames, no)
 	}
 	f.pageNo = no
@@ -719,12 +863,7 @@ func (p *Pool) Drop(no storage.PageNo) {
 	if f, ok := pt.frames[no]; ok {
 		f.valid = false
 		f.dirty.Store(false)
-		for i, cf := range pt.clock {
-			if cf == f {
-				pt.clock = append(pt.clock[:i], pt.clock[i+1:]...)
-				break
-			}
-		}
+		pt.unlistLocked(f)
 		delete(pt.frames, no)
 	}
 }
@@ -861,6 +1000,8 @@ func (p *Pool) InvalidateAll() {
 		pt.frames = make(map[storage.PageNo]*Frame)
 		pt.clock = nil
 		pt.hand = 0
+		pt.prot = nil
+		pt.protHand = 0
 		pt.mu.Unlock()
 	}
 }
@@ -881,11 +1022,13 @@ func (p *Pool) PartitionStats() []PartitionStat {
 	for i, pt := range p.parts {
 		pt.mu.RLock()
 		n := len(pt.frames)
+		nProt := len(pt.prot)
 		pt.mu.RUnlock()
 		out[i] = PartitionStat{
 			Partition: i,
 			Frames:    n,
 			Quota:     pt.quota,
+			Protected: nProt,
 			Hits:      pt.hits.Load(),
 			Misses:    pt.misses.Load(),
 		}

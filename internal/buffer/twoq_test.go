@@ -1,0 +1,178 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+// primeDisk writes n leaf pages so the pool can fault them in.
+func primeDisk(t *testing.T, n int) *storage.MemDisk {
+	t.Helper()
+	d := storage.NewMemDisk()
+	img := page.New()
+	img.Init(page.TypeLeaf, 0)
+	for no := storage.PageNo(0); no < storage.PageNo(n); no++ {
+		img.SetSyncToken(uint64(no))
+		if err := d.WritePage(no, img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// touch faults/hits one page and reports whether it was a hit.
+func touch(t *testing.T, p *Pool, no storage.PageNo) bool {
+	t.Helper()
+	h0, _ := p.Stats()
+	f, err := p.Get(no)
+	if err != nil {
+		t.Fatalf("Get(%d): %v", no, err)
+	}
+	f.Unpin()
+	h1, _ := p.Stats()
+	return h1 > h0
+}
+
+// scanWorkload runs the two-phase scan-resistance mix on a fresh pool over
+// d. Phase one establishes an 8-page hot set under moderate eviction
+// pressure (dense re-references interleaved with double-touched scan pages,
+// so the sweep observes the reuse and promotes). Phase two is the burst: a
+// 10x-pool sequential scan whose pages are each read twice in quick
+// succession — the correlated double reference of a real scan — with the
+// hot set re-referenced only sparsely, at an interval longer than the
+// clock's revolution. Returns the phase-two hot-access hit rate.
+func scanWorkload(t *testing.T, d *storage.MemDisk, legacy bool, rec *obs.Recorder) (hotRate float64, pool *Pool) {
+	t.Helper()
+	p := NewPool(d, 16) // one stripe, quota 16: segmented policy active
+	if rec != nil {
+		p.SetObs(rec)
+	}
+	if legacy {
+		p.SetLegacyEviction(true)
+	}
+	const hotN = 8
+	scanNo := storage.PageNo(100)
+	for i := 0; i < 128; i++ { // phase one: earn residence
+		touch(t, p, storage.PageNo(i%hotN))
+		if i%2 == 0 {
+			touch(t, p, scanNo)
+			touch(t, p, scanNo)
+			scanNo++
+		}
+	}
+	hotHits, hotAccesses := 0, 0
+	for i := 0; i < 160; i++ { // phase two: the scan burst
+		touch(t, p, scanNo)
+		touch(t, p, scanNo)
+		scanNo++
+		if i%4 == 3 {
+			hot := storage.PageNo(i / 4 % hotN)
+			hotAccesses++
+			if touch(t, p, hot) {
+				hotHits++
+			}
+		}
+	}
+	return float64(hotHits) / float64(hotAccesses), p
+}
+
+// TestScanResistantEviction: a sequential scan 10x the pool size must not
+// flush a concurrently re-referenced hot set out of the cache. The
+// segmented sweep promotes the re-referenced frames to the protected
+// segment, where one-shot scan pages never land.
+func TestScanResistantEviction(t *testing.T) {
+	rec := obs.New(0)
+	rate, p := scanWorkload(t, primeDisk(t, 512), false, rec)
+	if rate < 0.9 {
+		t.Fatalf("hot-set hit rate %.2f under sequential scan; want >= 0.90", rate)
+	}
+	if rec.Get(obs.EvictPromote) == 0 {
+		t.Fatal("no promotions recorded: the segmented sweep never engaged")
+	}
+	// The protected segment must be populated but bounded by its quota.
+	for _, ps := range p.PartitionStats() {
+		if ps.Protected > ps.Quota*3/4 {
+			t.Fatalf("stripe %d: protected=%d exceeds cap %d", ps.Partition, ps.Protected, ps.Quota*3/4)
+		}
+	}
+}
+
+// TestScanResistanceBeatsLegacyClock runs the identical workload under both
+// policies; the segmented sweep must not do worse than the single clock it
+// replaces.
+func TestScanResistanceBeatsLegacyClock(t *testing.T) {
+	twoQRate, _ := scanWorkload(t, primeDisk(t, 512), false, nil)
+	legacyRate, _ := scanWorkload(t, primeDisk(t, 512), true, nil)
+	if twoQRate < legacyRate {
+		t.Fatalf("segmented hit rate %.2f below legacy clock %.2f on the same workload",
+			twoQRate, legacyRate)
+	}
+}
+
+// TestTinyPoolUsesLegacyClock: stripes smaller than one full partition keep
+// the exact legacy second-chance behavior — no probationary/protected split.
+func TestTinyPoolUsesLegacyClock(t *testing.T) {
+	d := primeDisk(t, 64)
+	p := NewPool(d, 8) // quota < framesPerPartition
+	for _, pt := range p.parts {
+		if pt.twoQ {
+			t.Fatal("tiny stripe should fall back to the legacy clock")
+		}
+	}
+	// Cycle well past capacity: everything must keep working, and nothing
+	// may ever enter a protected segment.
+	for i := 0; i < 100; i++ {
+		touch(t, p, storage.PageNo(i%32))
+	}
+	for _, ps := range p.PartitionStats() {
+		if ps.Protected != 0 {
+			t.Fatalf("legacy stripe %d has %d protected frames", ps.Partition, ps.Protected)
+		}
+	}
+}
+
+// TestSetLegacyEvictionFoldsSegments: forcing legacy mid-flight folds the
+// protected segment back into the clock without losing frames.
+func TestSetLegacyEvictionFoldsSegments(t *testing.T) {
+	d := primeDisk(t, 512)
+	p := NewPool(d, 16)
+	const hotN = 8
+	for round := 0; round < 2; round++ {
+		for no := storage.PageNo(0); no < hotN; no++ {
+			touch(t, p, no)
+		}
+	}
+	// Evict enough to trigger promotions.
+	for i := 0; i < 64; i++ {
+		touch(t, p, storage.PageNo(100+i))
+	}
+	p.SetLegacyEviction(true)
+	for _, pt := range p.parts {
+		pt.mu.RLock()
+		if pt.twoQ || len(pt.prot) != 0 {
+			pt.mu.RUnlock()
+			t.Fatal("forcing legacy must clear the protected segment")
+		}
+		if len(pt.clock) != len(pt.frames) {
+			pt.mu.RUnlock()
+			t.Fatalf("clock holds %d of %d frames after fold", len(pt.clock), len(pt.frames))
+		}
+		pt.mu.RUnlock()
+	}
+	// The pool still evicts and serves correctly in legacy mode.
+	for i := 0; i < 64; i++ {
+		touch(t, p, storage.PageNo(200+i))
+	}
+	p.SetLegacyEviction(false)
+	for _, pt := range p.parts {
+		if !pt.twoQ {
+			t.Fatal("restoring the segmented policy failed")
+		}
+	}
+}

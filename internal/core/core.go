@@ -484,6 +484,30 @@ func (ix *Index) InsertTID(t *Txn, key []byte, tid heap.TID) error {
 	return ix.t.Insert(key, tid.Bytes())
 }
 
+// InsertTIDBatch adds every key -> tid pair within the transaction through
+// the tree's batched insert path: one descent and one leaf latch per
+// same-leaf run instead of per key. Semantics match a loop over InsertTID
+// (duplicates must already be uniquified), except that on error a sorted
+// prefix of the batch may have been applied — acceptable inside a
+// transaction, whose commit/abort is what gives the batch its atomicity.
+func (ix *Index) InsertTIDBatch(t *Txn, keys [][]byte, tids []heap.TID) error {
+	if len(keys) != len(tids) {
+		return fmt.Errorf("core: batch of %d keys with %d tids", len(keys), len(tids))
+	}
+	if err := ix.db.writable(); err != nil {
+		return err
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	t.tx.Touch(ix.t)
+	values := make([][]byte, len(tids))
+	for i := range tids {
+		values[i] = tids[i].Bytes()
+	}
+	return ix.t.InsertBatch(keys, values)
+}
+
 // LookupTID resolves a key to the TID it indexes. While degraded, a key
 // inside a quarantined range fails with an error unwrapping to
 // ErrQuarantined rather than a wrong answer.

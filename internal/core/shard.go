@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/btree"
 	"repro/internal/buffer"
@@ -33,6 +34,7 @@ var ErrShardMismatch = errors.New("core: sharded index opened with wrong shard c
 type KVIndex interface {
 	Name() string
 	InsertTID(t *Txn, key []byte, tid heap.TID) error
+	InsertTIDBatch(t *Txn, keys [][]byte, tids []heap.TID) error
 	LookupTID(key []byte) (heap.TID, error)
 	FetchVisible(rel *Relation, key []byte) ([]byte, error)
 	Scan(start, end []byte, fn func(key []byte, tid heap.TID) bool) error
@@ -130,7 +132,8 @@ func (db *DB) checkShardMeta(name string, nShards int) error {
 	if err != nil {
 		return err
 	}
-	buf := page.New()
+	buf := page.GetScratch()
+	defer page.PutScratch(buf)
 	if d.NumPages() > 0 {
 		if err := d.ReadPage(0, buf); err != nil {
 			return err
@@ -182,6 +185,49 @@ func (ix *ShardedIndex) InsertTID(t *Txn, key []byte, tid heap.TID) error {
 	tr := ix.trees[ix.r.Pick(key)]
 	t.tx.Touch(tr)
 	return tr.Insert(key, tid.Bytes())
+}
+
+// InsertTIDBatch adds every key -> tid pair within the transaction. Keys
+// are grouped by shard and each shard's sub-batch goes through its tree's
+// batched insert path; sub-batches of different shards apply in parallel
+// (the shards share nothing, so this is the same freedom Recover exploits).
+// Every touched shard joins the transaction's force set before any insert
+// runs, keeping the commit protocol identical to a loop over InsertTID.
+func (ix *ShardedIndex) InsertTIDBatch(t *Txn, keys [][]byte, tids []heap.TID) error {
+	if len(keys) != len(tids) {
+		return fmt.Errorf("core: batch of %d keys with %d tids", len(keys), len(tids))
+	}
+	if err := ix.db.writable(); err != nil {
+		return err
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	byShard := make(map[int][]int)
+	for i, k := range keys {
+		s := ix.r.Pick(k)
+		byShard[s] = append(byShard[s], i)
+	}
+	for s := range byShard {
+		t.tx.Touch(ix.trees[s])
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(ix.trees))
+	for s, idxs := range byShard {
+		sub := make([][]byte, len(idxs))
+		vals := make([][]byte, len(idxs))
+		for j, i := range idxs {
+			sub[j] = keys[i]
+			vals[j] = tids[i].Bytes()
+		}
+		wg.Add(1)
+		go func(s int, sub, vals [][]byte) {
+			defer wg.Done()
+			errs[s] = ix.trees[s].InsertBatch(sub, vals)
+		}(s, sub, vals)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // LookupTID resolves a key through its shard. Degraded-mode semantics are

@@ -96,6 +96,12 @@ const (
 	ShardRecover // one shard finished its post-crash recovery sweep
 	ShardScan    // one cross-shard merged range scan served by the router
 
+	// Hot-path pass: 2Q eviction segments and the batched write API.
+	EvictPromote // probationary frame promoted to the protected segment
+	EvictDemote  // protected frame demoted back to probationary
+	BatchPut     // keys applied through the batched insert path
+	BatchLeafRun // same-leaf runs applied under one leaf latch
+
 	numMetrics
 )
 
@@ -148,6 +154,10 @@ var metricNames = [numMetrics]string{
 	FlushDaemon:       "flush.daemon",
 	ShardRecover:      "shard.recover",
 	ShardScan:         "shard.scan",
+	EvictPromote:      "pool.evict.promote",
+	EvictDemote:       "pool.evict.demote",
+	BatchPut:          "batch.put",
+	BatchLeafRun:      "batch.leafrun",
 }
 
 func (m Metric) String() string {

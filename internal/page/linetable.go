@@ -72,6 +72,24 @@ func (p Page) AddItem(payload []byte) (off int, err error) {
 	return off, nil
 }
 
+// ReserveItem allocates space in the item area for a payload of the given
+// length and returns its offset plus the payload slice for the caller to
+// fill in place — the zero-copy variant of AddItem. Like AddItem, it does
+// not touch the line table: nothing references the reserved bytes until
+// the caller links the offset with InsertSlot, so a mid-fill snapshot is
+// harmless (§3.3 step 4 ordering is preserved by the caller).
+func (p Page) ReserveItem(payloadLen int) (off int, payload []byte, err error) {
+	need := itemSize(payloadLen)
+	if p.Upper()-p.Lower() < need {
+		return 0, nil, fmt.Errorf("page: item of %d bytes does not fit (free %d)", need, p.FreeSpace())
+	}
+	off = p.Upper() - need
+	p[off] = byte(payloadLen)
+	p[off+1] = byte(payloadLen >> 8)
+	p.SetUpper(off)
+	return off, p[off+2 : off+2+payloadLen], nil
+}
+
 // InsertSlot links an already-added item (at byte offset off) into the line
 // table at position pos, shifting later entries right. It follows the
 // crash-careful order of §3.3 step (4):
@@ -186,28 +204,31 @@ func (p Page) Compact() error {
 		return fmt.Errorf("page: cannot compact while %d backup keys are retained", p.PrevNKeys())
 	}
 	n := p.NKeys()
-	scratch := make([]byte, 0, Size)
-	offs := make([]int, n)
+	// Validate every live entry before touching anything, so an error
+	// leaves the page exactly as it was.
+	for i := 0; i < n; i++ {
+		if p.Item(i) == nil {
+			return fmt.Errorf("%w: line-table entry %d references invalid offset %d", ErrCorrupt, i, p.Slot(i))
+		}
+	}
+	// Pack the live items into a borrowed scratch buffer at their final
+	// offsets, rewriting each slot as soon as its item has been staged
+	// (the old offset is dead once the item is in scratch). One sequential
+	// copy back replaces the whole item area.
+	scratch := GetScratch()
 	upper := Size
 	for i := 0; i < n; i++ {
 		item := p.Item(i)
-		if item == nil {
-			return fmt.Errorf("%w: line-table entry %d references invalid offset %d", ErrCorrupt, i, p.Slot(i))
-		}
 		sz := itemSize(len(item))
 		upper -= sz
-		offs[i] = upper
-		buf := make([]byte, sz)
-		buf[0] = byte(len(item))
-		buf[1] = byte(len(item) >> 8)
-		copy(buf[2:], item)
-		scratch = append(buf, scratch...)
+		scratch[upper] = byte(len(item))
+		scratch[upper+1] = byte(len(item) >> 8)
+		copy(scratch[upper+2:], item)
+		p.setSlot(i, upper)
 	}
-	copy(p[upper:], scratch)
-	for i := 0; i < n; i++ {
-		p.setSlot(i, offs[i])
-	}
+	copy(p[upper:], scratch[upper:])
 	p.SetUpper(upper)
+	PutScratch(scratch)
 	return nil
 }
 

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestServerMput: the batched write verb, autocommit and transactional,
+// error shapes, update semantics, and the STATS counters it feeds.
+func TestServerMput(t *testing.T) {
+	db, srv := newTestServer(t, core.Memory())
+	defer db.Close()
+	cl := dial(t, srv)
+
+	// Autocommit batch: all pairs visible right after the OK.
+	cl.expect("MPUT a 1 b 2 c 3", "OK 3")
+	cl.expect("GET a", "OK 1")
+	cl.expect("GET b", "OK 2")
+	cl.expect("GET c", "OK 3")
+
+	// Batch updates overwrite like PUT does.
+	cl.expect("MPUT a 10 d 4", "OK 2")
+	cl.expect("GET a", "OK 10")
+	cl.expect("GET d", "OK 4")
+
+	// Inside a transaction: invisible until COMMIT.
+	begin := cl.expectPrefix("BEGIN", "OK ")
+	xid := strings.TrimPrefix(begin, "OK ")
+	cl.expect("MPUT e 5 f 6", "OK 2")
+	cl.expect("GET e", "NOTFOUND")
+	cl.expect("COMMIT", "OK "+xid)
+	cl.expect("GET e", "OK 5")
+	cl.expect("GET f", "OK 6")
+
+	// Malformed lines: empty and odd token counts.
+	cl.expectPrefix("MPUT", "ERR usage")
+	cl.expectPrefix("MPUT k", "ERR usage")
+	cl.expectPrefix("MPUT k v k2", "ERR usage")
+
+	// A duplicate user key within one batch: last write still resolves to
+	// one visible version (the highest TID wins).
+	cl.expect("MPUT dup x dup y", "OK 2")
+	rows, final := cl.scan("SCAN dup dupz")
+	if final != "OK 1" || len(rows) != 1 {
+		t.Fatalf("SCAN after dup batch: rows=%v final=%q", rows, final)
+	}
+
+	// STATS surfaces the batched-path counters.
+	reply := cl.expectPrefix("STATS", "OK ")
+	var stats map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(reply, "OK ")), &stats); err != nil {
+		t.Fatalf("STATS JSON: %v", err)
+	}
+	for _, k := range []string{"batch_puts", "batch_leaf_runs", "evict_promotions"} {
+		if _, ok := stats[k]; !ok {
+			t.Fatalf("STATS missing %q: %v", k, stats)
+		}
+	}
+	// 9 keys went through MPUT; the very first fell back to the single
+	// insert path (root creation is exclusive), the rest batched.
+	if bp, _ := stats["batch_puts"].(float64); bp < 8 {
+		t.Fatalf("batch_puts = %v, want >= 8", stats["batch_puts"])
+	}
+}
+
+// TestServerMputLargeBatchSharded drives a large MPUT through the sharded
+// index: pairs fan out across shards and apply in parallel.
+func TestServerMputLargeBatchSharded(t *testing.T) {
+	store := core.Memory()
+	db, err := core.Open(store, core.Config{Obs: obs.New(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv, err := New(db, Options{Shards: 4, DrainTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	cl := dial(t, srv)
+
+	const n = 200
+	var sb strings.Builder
+	sb.WriteString("MPUT")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, " k%04d v%04d", i, i)
+	}
+	cl.expect(sb.String(), fmt.Sprintf("OK %d", n))
+	for _, i := range []int{0, 1, 57, 123, n - 1} {
+		cl.expect(fmt.Sprintf("GET k%04d", i), fmt.Sprintf("OK v%04d", i))
+	}
+	rows, final := cl.scan(fmt.Sprintf("SCAN - - %d", n))
+	if final != fmt.Sprintf("OK %d", n) || len(rows) != n {
+		t.Fatalf("SCAN: %d rows, final %q", len(rows), final)
+	}
+}

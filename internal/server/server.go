@@ -12,6 +12,9 @@
 //
 //	BEGIN              -> OK <xid>
 //	PUT <key> <value>  -> OK            (autocommits when outside BEGIN)
+//	MPUT <k> <v> [<k> <v> ...] -> OK <n>  (n pairs written through the
+//	                      batched index path; values are single tokens
+//	                      here, autocommits when outside BEGIN)
 //	GET <key>          -> OK <value> | NOTFOUND
 //	DEL <key>          -> OK | NOTFOUND (autocommits when outside BEGIN)
 //	SCAN <lo> <hi> [n] -> ROW <key> <value> ... then OK <count>  ("-" = open bound)

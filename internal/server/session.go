@@ -128,6 +128,8 @@ func (ss *session) dispatch(line string) bool {
 		ss.cmdBegin()
 	case "PUT":
 		ss.cmdPut(rest)
+	case "MPUT":
+		ss.cmdMput(rest)
 	case "GET":
 		ss.cmdGet(rest)
 	case "DEL":
@@ -235,6 +237,31 @@ func (ss *session) cmdPut(rest string) {
 	ss.reply("OK")
 }
 
+// cmdMput writes several pairs in one round trip. Unlike PUT, values are
+// single tokens (the line is split on spaces). All pairs go through one
+// transaction and one batched index insert, so a big MPUT pays one descent
+// per leaf run and — outside BEGIN — one commit sync, not one per pair.
+func (ss *session) cmdMput(rest string) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields)%2 != 0 {
+		ss.reply("ERR usage MPUT <key> <value> [<key> <value> ...]")
+		return
+	}
+	n := len(fields) / 2
+	keys := make([][]byte, n)
+	values := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = []byte(fields[2*i])
+		values[i] = []byte(fields[2*i+1])
+	}
+	err := ss.withTxn(func(tx *core.Txn) error { return ss.srv.putBatch(tx, keys, values) })
+	if err != nil {
+		ss.fail(err)
+		return
+	}
+	ss.reply("OK %d", n)
+}
+
 func (ss *session) cmdGet(rest string) {
 	if rest == "" || strings.ContainsRune(rest, ' ') {
 		ss.reply("ERR usage GET <key>")
@@ -319,6 +346,9 @@ func (ss *session) cmdStats() {
 		"flush_passes":        snap.Counters["flush.daemon"],
 		"cache_hits":          cache.Hits,
 		"cache_misses":        cache.Misses,
+		"evict_promotions":    snap.Counters["pool.evict.promote"],
+		"batch_puts":          snap.Counters["batch.put"],
+		"batch_leaf_runs":     snap.Counters["batch.leafrun"],
 	}
 	if six := ss.srv.sharded; six != nil {
 		stats["shards"] = six.Shards()
@@ -399,6 +429,34 @@ func (s *Server) put(tx *core.Txn, key, value []byte) error {
 		return err
 	}
 	return s.idx.InsertTID(tx, core.MakeUnique(key, tid), tid)
+}
+
+// putBatch is put over many pairs: each pair resolves its visible version
+// and writes its heap tuple individually, then every index entry lands in
+// one InsertTIDBatch. MakeUnique appends the tuple's TID, so the batch's
+// index keys are distinct even when user keys repeat within it (each
+// occurrence gets its own version; the highest TID stays the visible one).
+func (s *Server) putBatch(tx *core.Txn, keys, values [][]byte) error {
+	ikeys := make([][]byte, len(keys))
+	tids := make([]heap.TID, len(keys))
+	for i := range keys {
+		old, _, exists, err := s.lookupVisible(keys[i])
+		if err != nil {
+			return err
+		}
+		var tid heap.TID
+		if exists {
+			tid, err = s.rel.Update(tx, old, values[i])
+		} else {
+			tid, err = s.rel.Insert(tx, values[i])
+		}
+		if err != nil {
+			return err
+		}
+		ikeys[i] = core.MakeUnique(keys[i], tid)
+		tids[i] = tid
+	}
+	return s.idx.InsertTIDBatch(tx, ikeys, tids)
 }
 
 // del stamps the current visible version dead. The index entry remains;

@@ -125,7 +125,8 @@ func OpenManager(disk storage.Disk) (*Manager, error) {
 	if disk.NumPages() == 0 {
 		return m, m.persistAll()
 	}
-	buf := page.New()
+	buf := page.GetScratch()
+	defer page.PutScratch(buf)
 	if err := disk.ReadPage(0, buf); err != nil {
 		return nil, err
 	}

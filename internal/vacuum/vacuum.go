@@ -53,7 +53,8 @@ func Index(t *btree.Tree) (IndexStats, error) {
 	}
 	st.ReachablePages = len(reach)
 	n := t.NumPages()
-	buf := page.New()
+	buf := page.GetScratch()
+	defer page.PutScratch(buf)
 	for no := storage.PageNo(1); no < n; no++ {
 		st.ScannedPages++
 		if reach[no] {
