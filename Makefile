@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test test-short race repair-coverage quarantine nested-faults bench bench-smoke bench-parallel server-smoke bench-server shard-smoke bench-shards hotpath-smoke bench-hotpath
+.PHONY: check vet build test test-short race repair-coverage quarantine nested-faults bench bench-smoke bench-parallel server-smoke bench-server shard-smoke bench-shards hotpath-smoke bench-hotpath bulkload-smoke bench-rebuild
 
-check: vet build test race repair-coverage quarantine nested-faults bench-smoke server-smoke shard-smoke hotpath-smoke
+check: vet build test race repair-coverage quarantine nested-faults bench-smoke server-smoke shard-smoke hotpath-smoke bulkload-smoke
 
 vet:
 	$(GO) vet ./...
@@ -116,3 +116,22 @@ bench-hotpath:
 bench-shards:
 	$(GO) run ./cmd/fastrec-bench -shards 1,2,4,8 -procs 16,32 -op mixed -json
 	$(GO) run ./cmd/fastrec-bench -recover -shards 1,2,4,8 -json
+
+# The bulk-load gate: the loader's differential and property tests against
+# the insert path, the core bulk-load/rebuild-from-heap layer (sharded
+# rebuilds and the supervisor's wholesale escalation) under the race
+# detector, the dump tool's rebuild round trip, and crash enumeration at
+# every sync point of a bulk load and a wholesale rebuild for two variants.
+bulkload-smoke:
+	$(GO) test -race ./internal/btree -run 'TestBulkLoad|TestBulkReplace|TestQuickBulkLoad'
+	$(GO) test -race ./internal/core -run 'TestIndexBulkLoad|TestShardedBulkLoad|TestIndexRebuild|TestShardedRebuild|TestSupervisorWholesale'
+	$(GO) test ./cmd/fastrec-dump -run TestRebuildDir
+	$(GO) run ./cmd/fastrec-crash -variant shadow -bulkload -bulk-keys 1200 -seed 1
+	$(GO) run ./cmd/fastrec-crash -variant reorg -bulkload -bulk-keys 1200 -faults -seed 1
+
+# The bulk-load and rebuild measurements behind BENCH_rebuild.json (see
+# EXPERIMENTS.md E12): bulk vs incremental build speed, and per-page reseed
+# vs wholesale rebuild on identical media-damage images.
+bench-rebuild:
+	$(GO) run ./cmd/fastrec-bench -rebuild -json > BENCH_rebuild.json
+	@cat BENCH_rebuild.json

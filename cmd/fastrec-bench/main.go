@@ -75,8 +75,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -op %q (want insert, lookup, both, or mixed)\n", *op)
 		os.Exit(2)
 	}
-	if *jsonOut && *procs == "" && !*serverBench && !*recoverBench {
-		fmt.Fprintln(os.Stderr, "-json requires -procs, -server, or -recover")
+	if *jsonOut && *procs == "" && !*serverBench && !*recoverBench && !*rebuildBench {
+		fmt.Fprintln(os.Stderr, "-json requires -procs, -server, -recover, or -rebuild")
 		os.Exit(2)
 	}
 	if *obsHTTP != "" {
@@ -97,6 +97,11 @@ func main() {
 
 	if *hotpathBench {
 		runHotpathBench()
+		return
+	}
+
+	if *rebuildBench {
+		runRebuildBench()
 		return
 	}
 

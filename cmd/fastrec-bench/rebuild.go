@@ -1,0 +1,362 @@
+package main
+
+// The -rebuild benchmark (BENCH_rebuild.json) measures the two claims of
+// the bottom-up bulk loader:
+//
+//  1. Bulk vs incremental build: the same sorted run of keys, once through
+//     the per-key insert path (a descent and possible split per key) and
+//     once through btree.BulkLoad (pack pages at the fill factor, one
+//     durable root install). Both timings include the final sync.
+//
+//  2. Recovery strategy: one committed image with K index leaves' stable
+//     copies corrupted (media damage — the case the crash-recovery
+//     machinery cannot undo from page versions, only from the heap),
+//     deep-cloned per mode. "repair" drives the supervisor's per-page
+//     escalation: abandon each damaged page and re-insert its key range
+//     from the heap, one range at a time. "rebuild" flips
+//     SupervisorConfig.WholesaleRebuild: the first escalation
+//     reconstructs the whole tree bottom-up and clears the backlog in one
+//     swap. Repair wins when damage is isolated; rebuild when it is
+//     widespread. EXPERIMENTS.md E12 discusses the crossover.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/page"
+	"repro/internal/storage"
+)
+
+var (
+	rebuildBench = flag.Bool("rebuild", false, "benchmark bulk load vs incremental insert, and repair vs wholesale rebuild on identical crash images")
+	rebuildSizes = flag.String("rebuild-sizes", "100000,1000000", "with -rebuild: comma-separated key counts for the bulk vs incremental comparison")
+	crashKeys    = flag.Int("crash-keys", 200000, "with -rebuild: committed keys in the crash-recovery comparison")
+)
+
+type loadCell struct {
+	Keys          int     `json:"keys"`
+	Variant       string  `json:"variant"`
+	IncrementalMS float64 `json:"incremental_ms"`
+	BulkMS        float64 `json:"bulk_ms"`
+	Speedup       float64 `json:"speedup"`
+	Leaves        int     `json:"leaves"`
+	Levels        int     `json:"levels"`
+}
+
+type recoveryCell struct {
+	DamagedLeaves int     `json:"damaged_leaves"`
+	RepairMS      float64 `json:"repair_ms"`  // per-page reseed escalation
+	RebuildMS     float64 `json:"rebuild_ms"` // wholesale bottom-up rebuild
+	Speedup       float64 `json:"speedup"`    // repair / rebuild
+}
+
+type rebuildReport struct {
+	IOLatUS   int64          `json:"iolat_us"`
+	Load      []loadCell     `json:"bulk_vs_incremental"`
+	CrashKeys int            `json:"crash_keys"`
+	Recovery  []recoveryCell `json:"recovery_after_media_damage"`
+}
+
+func runRebuildBench() {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	report := rebuildReport{IOLatUS: ioLat.Microseconds(), CrashKeys: *crashKeys}
+	for _, f := range splitComma(*rebuildSizes) {
+		var n int
+		if _, err := fmt.Sscanf(f, "%d", &n); err != nil || n <= 0 {
+			fail(fmt.Errorf("bad -rebuild-sizes entry %q", f))
+		}
+		cell, err := runLoadCell(btree.Shadow, n)
+		if err != nil {
+			fail(err)
+		}
+		report.Load = append(report.Load, cell)
+	}
+	recovery, err := runRecoveryComparison(*crashKeys)
+	if err != nil {
+		fail(err)
+	}
+	report.Recovery = recovery
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Printf("bulk load vs incremental insert (shadow, sorted 4-byte keys)\n\n")
+	fmt.Printf("%10s %14s %12s %9s %8s %7s\n", "keys", "incremental", "bulk", "speedup", "leaves", "levels")
+	for _, c := range report.Load {
+		fmt.Printf("%10d %12.1fms %10.1fms %8.2fx %8d %7d\n",
+			c.Keys, c.IncrementalMS, c.BulkMS, c.Speedup, c.Leaves, c.Levels)
+	}
+	fmt.Printf("\nrecovery after media damage, %d committed keys, identical images\n\n", *crashKeys)
+	fmt.Printf("%14s %14s %14s %9s\n", "damaged leaves", "repair", "rebuild", "speedup")
+	for _, c := range report.Recovery {
+		fmt.Printf("%14d %12.1fms %12.1fms %8.2fx\n",
+			c.DamagedLeaves, c.RepairMS, c.RebuildMS, c.Speedup)
+	}
+}
+
+// runLoadCell builds the same n-key sorted run twice — per-key inserts,
+// then the bottom-up loader — on fresh disks, and reports both wall times
+// (each including its durability sync).
+func runLoadCell(v btree.Variant, n int) (loadCell, error) {
+	value := []byte("v00000000")
+	key := make([]byte, 4)
+
+	runtime.GC()
+	disk := storage.NewMemDisk()
+	if *ioLat > 0 {
+		disk.SetLatency(*ioLat, *ioLat)
+	}
+	tr, err := btree.Open(disk, v, btree.Options{PoolSize: *pool, Obs: benchRec})
+	if err != nil {
+		return loadCell{}, err
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint32(key, uint32(i))
+		if err := tr.Insert(key, value); err != nil {
+			return loadCell{}, err
+		}
+	}
+	if err := tr.Sync(); err != nil {
+		return loadCell{}, err
+	}
+	incremental := time.Since(start)
+
+	items := make([]btree.Item, n)
+	for i := range items {
+		k := make([]byte, 4)
+		binary.BigEndian.PutUint32(k, uint32(i))
+		items[i] = btree.Item{Key: k, Value: value}
+	}
+	runtime.GC()
+	disk = storage.NewMemDisk()
+	if *ioLat > 0 {
+		disk.SetLatency(*ioLat, *ioLat)
+	}
+	tr, err = btree.Open(disk, v, btree.Options{PoolSize: *pool, Obs: benchRec})
+	if err != nil {
+		return loadCell{}, err
+	}
+	start = time.Now()
+	stats, err := tr.BulkLoad(items, btree.LoadOptions{})
+	if err != nil {
+		return loadCell{}, err
+	}
+	bulk := time.Since(start)
+
+	if err := tr.Check(btree.CheckStrict); err != nil {
+		return loadCell{}, fmt.Errorf("bulk-loaded tree failed Check: %w", err)
+	}
+	return loadCell{
+		Keys: n, Variant: v.String(),
+		IncrementalMS: float64(incremental.Microseconds()) / 1000,
+		BulkMS:        float64(bulk.Microseconds()) / 1000,
+		Speedup:       float64(incremental) / float64(bulk),
+		Leaves:        stats.Leaves, Levels: stats.Levels,
+	}, nil
+}
+
+// runRecoveryComparison builds one committed image, then for each damage
+// level corrupts K leaf pages' stable copies on identical clones and times
+// both supervisor escalations back to Healthy.
+func runRecoveryComparison(n int) ([]recoveryCell, error) {
+	// Source image: n committed tuples (data = indexed key), fully durable.
+	st := core.Memory()
+	db, err := core.Open(st, core.Config{Variant: core.Shadow})
+	if err != nil {
+		return nil, err
+	}
+	rel, err := db.CreateRelation("acct")
+	if err != nil {
+		return nil, err
+	}
+	ix, err := db.CreateIndex("acct_pk", core.Shadow)
+	if err != nil {
+		return nil, err
+	}
+	tx := db.Begin()
+	key := make([]byte, 4)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint32(key, uint32(i))
+		tid, err := rel.Insert(tx, key)
+		if err != nil {
+			return nil, err
+		}
+		if err := ix.InsertTID(tx, key, tid); err != nil {
+			return nil, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	clones := make(map[string]*storage.MemDisk)
+	for name, d := range core.MemoryDisks(st) {
+		clones[name] = d.CloneStable()
+	}
+	if err := db.Close(); err != nil {
+		return nil, err
+	}
+	leaves, err := stableLeaves(clones["idx_acct_pk"])
+	if err != nil {
+		return nil, err
+	}
+	if len(leaves) < 4 {
+		return nil, fmt.Errorf("only %d leaves; raise -crash-keys", len(leaves))
+	}
+
+	damages := []int{1, len(leaves) / 10}
+	if damages[1] < 2 {
+		damages[1] = 2
+	}
+	var cells []recoveryCell
+	for _, k := range damages {
+		cell := recoveryCell{DamagedLeaves: k}
+		for _, wholesale := range []bool{false, true} {
+			ms, err := runHealCell(clones, leaves[:k], wholesale, n)
+			if err != nil {
+				return nil, fmt.Errorf("damage %d wholesale=%v: %w", k, wholesale, err)
+			}
+			if wholesale {
+				cell.RebuildMS = ms
+			} else {
+				cell.RepairMS = ms
+			}
+		}
+		cell.Speedup = cell.RepairMS / cell.RebuildMS
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// stableLeaves walks the stable index image from the meta root and returns
+// every reachable leaf page, in root-walk order.
+func stableLeaves(d *storage.MemDisk) ([]storage.PageNo, error) {
+	buf := page.New()
+	if err := d.ReadPage(0, buf); err != nil {
+		return nil, err
+	}
+	root := storage.PageNo(binary.LittleEndian.Uint32(buf[page.HeaderSize+4:]))
+	queue := []storage.PageNo{root}
+	seen := map[storage.PageNo]bool{root: true}
+	var leaves []storage.PageNo
+	for len(queue) > 0 {
+		no := queue[0]
+		queue = queue[1:]
+		if err := d.ReadPage(no, buf); err != nil || !buf.Valid() {
+			return nil, fmt.Errorf("live page %d unreadable during the root walk", no)
+		}
+		switch buf.Type() {
+		case page.TypeLeaf:
+			leaves = append(leaves, no)
+		case page.TypeInternal:
+			for i := 0; i < buf.NKeys(); i++ {
+				item := buf.Item(i)
+				k := int(item[0]) | int(item[1])<<8 // item layout: klen, sep, child, prev
+				child := storage.PageNo(binary.LittleEndian.Uint32(item[2+k:]))
+				if child != 0 && !seen[child] {
+					seen[child] = true
+					queue = append(queue, child)
+				}
+			}
+		}
+	}
+	return leaves, nil
+}
+
+// runHealCell restarts a clone of the image with the given leaves'
+// durable copies corrupted, quarantines the damage with a degraded scan,
+// and times the supervisor escalation (per-page reseed, or wholesale
+// bottom-up rebuild) until the DB reads Healthy again.
+func runHealCell(clones map[string]*storage.MemDisk, corrupt []storage.PageNo, wholesale bool, n int) (float64, error) {
+	lat := *ioLat
+	if lat == 0 {
+		lat = 100 * time.Microsecond
+	}
+	st := core.Memory()
+	disks := core.MemoryDisks(st)
+	for name, d := range clones {
+		disks[name] = d.CloneStable()
+	}
+	for _, no := range corrupt {
+		if !disks["idx_acct_pk"].CorruptStable(no, func(img page.Page) {
+			img[page.HeaderSize] ^= 0xFF
+		}) {
+			return 0, fmt.Errorf("no durable image to corrupt at page %d", no)
+		}
+	}
+	db, err := core.Open(st, core.Config{Variant: core.Shadow, Supervisor: core.SupervisorConfig{
+		BaseBackoff: time.Nanosecond, MaxBackoff: time.Nanosecond,
+		GiveUpAfter: 1000, RebuildAfter: 1, WholesaleRebuild: wholesale,
+	}})
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+	rel, err := db.CreateRelation("acct")
+	if err != nil {
+		return 0, err
+	}
+	ix, err := db.CreateIndex("acct_pk", core.Shadow)
+	if err != nil {
+		return 0, err
+	}
+	db.RegisterHeal(ix, rel, func(data []byte) []byte { return data })
+	for _, d := range disks {
+		d.SetLatency(lat, lat)
+	}
+	// Discovery: the degraded scan quarantines every damaged page it hits
+	// (shared by both strategies, so not part of the timed heal).
+	if _, err := ix.ScanDegraded(nil, nil, func([]byte, heap.TID) bool { return true }); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	deadline := start.Add(2 * time.Minute)
+	for db.Health() != core.Healthy {
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("heal did not converge; report %+v", db.HealthReport())
+		}
+		db.SuperviseOnce()
+	}
+	ms := float64(time.Since(start).Microseconds()) / 1000
+	// Sample-verify the healed index before trusting the timing.
+	for _, d := range disks {
+		d.SetLatency(0, 0)
+	}
+	key := make([]byte, 4)
+	rng := rand.New(rand.NewSource(*seed))
+	for i := 0; i < 1000; i++ {
+		binary.BigEndian.PutUint32(key, uint32(rng.Intn(n)))
+		data, err := ix.FetchVisible(rel, key)
+		if err != nil || len(data) != 4 {
+			return 0, fmt.Errorf("healed index lost key %x: %q, %v", key, data, err)
+		}
+	}
+	got := 0
+	if err := ix.Tree().Scan(nil, nil, func([]byte, []byte) bool { got++; return true }); err != nil {
+		return 0, err
+	}
+	if got != n {
+		return 0, fmt.Errorf("healed index scan saw %d of %d keys", got, n)
+	}
+	if err := ix.Tree().Check(btree.CheckStructure); err != nil {
+		return 0, err
+	}
+	return ms, nil
+}

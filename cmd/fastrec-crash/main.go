@@ -65,6 +65,10 @@ func main() {
 		runEnumeration(variant)
 		return
 	}
+	if *bulkload {
+		runBulkload(variant)
+		return
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	failed := 0
 	for round := 0; round < *rounds; round++ {

@@ -18,6 +18,15 @@
 //	fastrec-dump scrub -file idx.pg
 //	fastrec-dump scrub -file idx.pg -variant shadow -repair
 //
+// The rebuild subcommand reconstructs an index wholesale from its heap
+// relation with the bottom-up bulk loader (tuple data must equal the
+// indexed key — the identity keyOf convention). The new tree replaces the
+// old in one durable root install, so a crash mid-rebuild leaves the old
+// index serving:
+//
+//	fastrec-dump rebuild -dir dbdir -rel acct -index acct_pk
+//	fastrec-dump rebuild -dir dbdir -rel acct -index acct_pk -shards 4 -fill 0.85
+//
 // The trace subcommand replays recovery with the observability recorder
 // attached and pretty-prints the resulting event timeline — every injected
 // fault classification, prevPtr re-copy, and §3.4 case diagnosis in the
@@ -73,6 +82,10 @@ func parseVariant(name string) (btree.Variant, bool) {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "scrub" {
 		runScrub(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "rebuild" {
+		runRebuild(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {

@@ -854,6 +854,19 @@ func (p *Pool) Remap(f *Frame, no storage.PageNo) {
 	pt.clock = append(pt.clock, f)
 }
 
+// WriteBypass writes a complete page image straight through to storage
+// without installing a frame: no clock entry, no protected-segment
+// promotion, no eviction pressure on resident pages. The bulk loader uses
+// it to stream pages it will never re-reference — a million-key load must
+// not flush the working set the way a Get-per-page build would. Any stale
+// frame for no is dropped first so later Gets read the new image, and the
+// write goes through the pool's transient-retry policy (the disk seals the
+// stored copy with the format-v2 checksum, like every other write).
+func (p *Pool) WriteBypass(no storage.PageNo, data page.Page) error {
+	p.Drop(no)
+	return p.writePageRetry(no, data)
+}
+
 // Drop invalidates any frame for page no without writing it, used when a
 // page is freed.
 func (p *Pool) Drop(no storage.PageNo) {

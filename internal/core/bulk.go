@@ -1,0 +1,206 @@
+package core
+
+// Bulk load and rebuild-from-heap at the DB level. The btree loader
+// (internal/btree/bulkload.go) builds a tree bottom-up; this file feeds
+// it: BulkLoad turns a key/TID run into an index without going through
+// the insert path, and Rebuild scans the heap relation — the
+// no-overwrite storage system's authoritative copy (§2) — collects every
+// visible tuple, and swaps a freshly packed tree over the old structure
+// in one durable root install. ShardedIndex fans both out per shard in
+// parallel: the router's key hash is the ownership filter, so each shard
+// rebuilds exactly the keys it would serve.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/heap"
+	"repro/internal/obs"
+	"repro/internal/vacuum"
+)
+
+// RebuildStats describes a wholesale index reconstruction.
+type RebuildStats struct {
+	Keys     int           // visible heap tuples fed to the loader
+	Leaves   int           // leaf pages written
+	Internal int           // internal pages written
+	Levels   int           // height of the tallest rebuilt tree
+	Shards   int           // trees rebuilt (1 for a single-tree index)
+	Wall     time.Duration // end-to-end reconstruction time
+}
+
+func (s *RebuildStats) merge(ls btree.LoadStats) {
+	s.Keys += ls.Keys
+	s.Leaves += ls.Leaves
+	s.Internal += ls.Internal
+	if ls.Levels > s.Levels {
+		s.Levels = ls.Levels
+	}
+}
+
+func (db *DB) loadOptions() btree.LoadOptions {
+	return btree.LoadOptions{FillFactor: db.cfg.LoadFill}
+}
+
+// BulkLoad builds the index bottom-up from parallel key/TID slices. The
+// index must be empty; duplicate keys keep their first occurrence. This is
+// the fast path for seeding large datasets — one sorted pass instead of a
+// descent per key.
+func (ix *Index) BulkLoad(keys [][]byte, tids []heap.TID) error {
+	if err := ix.db.writable(); err != nil {
+		return err
+	}
+	items, err := loadItems(keys, tids)
+	if err != nil {
+		return err
+	}
+	_, err = ix.t.BulkLoad(items, ix.db.loadOptions())
+	return err
+}
+
+// Rebuild reconstructs the index wholesale from the heap relation: every
+// visible tuple's key (via keyOf) is fed to the bottom-up loader and the
+// new tree atomically replaces the old one. Unlike the insert path it is
+// deliberately not gated on DB health — rebuilding a damaged index is how
+// a degraded DB gets back to Healthy.
+func (ix *Index) Rebuild(rel *Relation, keyOf vacuum.KeyOf) (RebuildStats, error) {
+	start := time.Now()
+	items, err := ix.db.collectHeapItems(rel, keyOf, nil)
+	if err != nil {
+		return RebuildStats{}, err
+	}
+	ls, err := ix.t.BulkReplace(items, ix.db.loadOptions())
+	if err != nil {
+		return RebuildStats{}, err
+	}
+	stats := RebuildStats{Shards: 1, Wall: time.Since(start)}
+	stats.merge(ls)
+	ix.db.markHealthDirty()
+	return stats, nil
+}
+
+// BulkLoad partitions the run by the router's key hash and bulk-loads
+// every shard in parallel.
+func (ix *ShardedIndex) BulkLoad(keys [][]byte, tids []heap.TID) error {
+	if err := ix.db.writable(); err != nil {
+		return err
+	}
+	items, err := loadItems(keys, tids)
+	if err != nil {
+		return err
+	}
+	byShard := make([][]btree.Item, len(ix.trees))
+	for _, it := range items {
+		s := ix.r.Pick(it.Key)
+		byShard[s] = append(byShard[s], it)
+	}
+	errs := make([]error, len(ix.trees))
+	var wg sync.WaitGroup
+	for i := range ix.trees {
+		if len(byShard[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = ix.trees[i].BulkLoad(byShard[i], ix.db.loadOptions())
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Rebuild scans the heap once, routes each visible key to its owning
+// shard, and rebuilds all shards in parallel — the sharded mirror of
+// Index.Rebuild, with the router hash as the per-shard ownership filter.
+func (ix *ShardedIndex) Rebuild(rel *Relation, keyOf vacuum.KeyOf) (RebuildStats, error) {
+	start := time.Now()
+	items, err := ix.db.collectHeapItems(rel, keyOf, nil)
+	if err != nil {
+		return RebuildStats{}, err
+	}
+	byShard := make([][]btree.Item, len(ix.trees))
+	for _, it := range items {
+		s := ix.r.Pick(it.Key)
+		byShard[s] = append(byShard[s], it)
+	}
+	errs := make([]error, len(ix.trees))
+	loads := make([]btree.LoadStats, len(ix.trees))
+	var wg sync.WaitGroup
+	for i := range ix.trees {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Every shard rebuilds, even on an empty slice: a shard whose
+			// keys all vanished must drop its stale contents too.
+			loads[i], errs[i] = ix.trees[i].BulkReplace(byShard[i], ix.db.loadOptions())
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return RebuildStats{}, err
+	}
+	stats := RebuildStats{Shards: len(ix.trees), Wall: time.Since(start)}
+	for _, ls := range loads {
+		stats.merge(ls)
+	}
+	ix.db.markHealthDirty()
+	return stats, nil
+}
+
+// loadItems zips parallel key/TID slices into loader items.
+func loadItems(keys [][]byte, tids []heap.TID) ([]btree.Item, error) {
+	if len(keys) != len(tids) {
+		return nil, fmt.Errorf("core: bulk load with %d keys but %d tids", len(keys), len(tids))
+	}
+	items := make([]btree.Item, len(keys))
+	for i := range keys {
+		items[i] = btree.Item{Key: keys[i], Value: tids[i].Bytes()}
+	}
+	return items, nil
+}
+
+// collectHeapItems gathers every visible tuple's <key, tid> from the
+// relation, applying the same visibility rule the supervisor's
+// insert-at-a-time reseed uses: a version the status table calls dead or
+// invisible must not be resurrected into the index.
+func (db *DB) collectHeapItems(rel *Relation, keyOf vacuum.KeyOf, filter func([]byte) bool) ([]btree.Item, error) {
+	var items []btree.Item
+	err := rel.h.ScanAll(func(tid heap.TID, xmin, xmax heap.XID, data []byte) bool {
+		if _, err := rel.h.Fetch(tid, db.mgr); err != nil {
+			return true
+		}
+		key := keyOf(data)
+		if key == nil {
+			return true
+		}
+		if filter != nil && !filter(key) {
+			return true
+		}
+		items = append(items, btree.Item{Key: key, Value: tid.Bytes()})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// rebuildWholesale is the supervisor's bulk alternative to the
+// insert-at-a-time reseed: instead of abandoning one quarantined page and
+// re-inserting its key range, reconstruct the whole tree bottom-up from
+// the heap. keyFilter keeps sharded rebuilds on the shard's own keys.
+func (db *DB) rebuildWholesale(t *btree.Tree, src healSource, keyFilter func([]byte) bool) error {
+	items, err := db.collectHeapItems(src.rel, src.keyOf, keyFilter)
+	if err != nil {
+		return err
+	}
+	_, err = t.BulkReplace(items, db.loadOptions())
+	if err == nil {
+		db.cfg.Obs.Count(obs.RepairRebuild)
+	}
+	return err
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/heap"
+	"repro/internal/obs"
+	"repro/internal/page"
+)
+
+// commitRun inserts n tuples (data = key) into rel and returns the
+// parallel key/TID slices, without touching the index.
+func commitRun(t *testing.T, db *DB, rel *Relation, n int) ([][]byte, []heap.TID) {
+	t.Helper()
+	tx := db.Begin()
+	keys := make([][]byte, n)
+	tids := make([]heap.TID, n)
+	for i := 0; i < n; i++ {
+		keys[i] = healthKey(i)
+		tid, err := rel.Insert(tx, keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tids[i] = tid
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return keys, tids
+}
+
+func TestIndexBulkLoad(t *testing.T) {
+	db, err := Open(Memory(), Config{Variant: Shadow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rel, err := db.CreateRelation("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := db.CreateIndex("acct_pk", Shadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, tids := commitRun(t, db, rel, 5000)
+	var kv KVIndex = ix
+	if err := kv.BulkLoad(keys, tids); err != nil {
+		t.Fatalf("BulkLoad: %v", err)
+	}
+	for i := range keys {
+		tid, err := ix.LookupTID(keys[i])
+		if err != nil || tid != tids[i] {
+			t.Fatalf("key %d: tid %v, %v", i, tid, err)
+		}
+		data, err := ix.FetchVisible(rel, keys[i])
+		if err != nil || !bytes.Equal(data, keys[i]) {
+			t.Fatalf("key %d: fetch %q, %v", i, data, err)
+		}
+	}
+	if err := ix.Tree().Check(btree.CheckStrict); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	// Loading again must refuse: the index is no longer empty.
+	if err := kv.BulkLoad(keys, tids); !errors.Is(err, btree.ErrNotEmpty) {
+		t.Fatalf("second BulkLoad: %v, want ErrNotEmpty", err)
+	}
+}
+
+func TestShardedBulkLoad(t *testing.T) {
+	db, err := Open(Memory(), Config{Variant: Shadow, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rel, err := db.CreateRelation("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := db.CreateShardedIndex("acct_pk", Shadow, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, tids := commitRun(t, db, rel, 4000)
+	var kv KVIndex = ix
+	if err := kv.BulkLoad(keys, tids); err != nil {
+		t.Fatalf("sharded BulkLoad: %v", err)
+	}
+	for i := range keys {
+		tid, err := ix.LookupTID(keys[i])
+		if err != nil || tid != tids[i] {
+			t.Fatalf("key %d: tid %v, %v", i, tid, err)
+		}
+	}
+	// The merged scan must see every key in order across shards.
+	var got int
+	var last []byte
+	err = ix.Scan(nil, nil, func(k []byte, _ heap.TID) bool {
+		if last != nil && bytes.Compare(last, k) >= 0 {
+			t.Fatalf("merged scan out of order: %q then %q", last, k)
+		}
+		last = append(last[:0], k...)
+		got++
+		return true
+	})
+	if err != nil || got != len(keys) {
+		t.Fatalf("merged scan: %d keys, %v", got, err)
+	}
+	for i, tr := range ix.trees {
+		if err := tr.Check(btree.CheckStrict); err != nil {
+			t.Fatalf("shard %d Check: %v", i, err)
+		}
+	}
+}
+
+// Rebuild re-derives the index from the heap: dead versions disappear,
+// visible ones survive, and the swap leaves a structurally clean tree.
+func TestIndexRebuildFromHeap(t *testing.T) {
+	db, err := Open(Memory(), Config{Variant: Shadow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rel, err := db.CreateRelation("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := db.CreateIndex("acct_pk", Shadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, tids := commitRun(t, db, rel, 3000)
+	tx := db.Begin()
+	for i := range keys {
+		if err := ix.InsertTID(tx, keys[i], tids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill every third tuple; the index still carries its key.
+	tx = db.Begin()
+	for i := 0; i < len(keys); i += 3 {
+		if err := rel.Delete(tx, tids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var kv KVIndex = ix
+	stats, err := kv.Rebuild(rel, func(data []byte) []byte { return data })
+	if err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	wantLive := 0
+	for i := range keys {
+		live := i%3 != 0
+		if live {
+			wantLive++
+		}
+		tid, err := ix.LookupTID(keys[i])
+		switch {
+		case live && (err != nil || tid != tids[i]):
+			t.Fatalf("live key %d lost: %v, %v", i, tid, err)
+		case !live && !errors.Is(err, btree.ErrKeyNotFound):
+			t.Fatalf("dead key %d resurrected: %v, %v", i, tid, err)
+		}
+	}
+	if stats.Keys != wantLive {
+		t.Fatalf("stats.Keys = %d, want %d", stats.Keys, wantLive)
+	}
+	if stats.Shards != 1 || stats.Leaves == 0 || stats.Levels == 0 {
+		t.Fatalf("implausible stats: %+v", stats)
+	}
+	if err := ix.Tree().Check(btree.CheckStrict); err != nil {
+		t.Fatalf("Check after rebuild: %v", err)
+	}
+}
+
+// Sharded rebuild: one heap scan fans out to all shards in parallel, each
+// shard keeps exactly the keys the router hashes to it.
+func TestShardedRebuildParallel(t *testing.T) {
+	db, err := Open(Memory(), Config{Variant: Shadow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rel, err := db.CreateRelation("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 4
+	ix, err := db.CreateShardedIndex("acct_pk", Shadow, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, tids := commitRun(t, db, rel, 3000)
+	// Seed the shards with garbage the rebuild must sweep away.
+	tx := db.Begin()
+	for i := 0; i < 50; i++ {
+		if err := ix.InsertTID(tx, []byte{0xFF, byte(i)}, tids[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var kv KVIndex = ix
+	stats, err := kv.Rebuild(rel, func(data []byte) []byte { return data })
+	if err != nil {
+		t.Fatalf("sharded Rebuild: %v", err)
+	}
+	if stats.Shards != shards || stats.Keys != len(keys) {
+		t.Fatalf("stats: %+v, want %d shards, %d keys", stats, shards, len(keys))
+	}
+	for i := range keys {
+		tid, err := ix.LookupTID(keys[i])
+		if err != nil || tid != tids[i] {
+			t.Fatalf("key %d after rebuild: %v, %v", i, tid, err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := ix.LookupTID([]byte{0xFF, byte(i)}); !errors.Is(err, btree.ErrKeyNotFound) {
+			t.Fatalf("garbage key %d survived the rebuild: %v", i, err)
+		}
+	}
+	// Ownership: every shard must hold exactly the keys routed to it.
+	for s, tr := range ix.trees {
+		err := tr.Scan(nil, nil, func(k, _ []byte) bool {
+			if got := ix.r.Pick(k); got != s {
+				t.Fatalf("key %q rebuilt into shard %d, routed to %d", k, s, got)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Check(btree.CheckStrict); err != nil {
+			t.Fatalf("shard %d Check: %v", s, err)
+		}
+	}
+}
+
+// The supervisor's wholesale escalation: same scenario as
+// TestSupervisorRebuildsFromHeap, but RebuildAfter now triggers a
+// bottom-up reconstruction of the whole tree instead of re-inserting the
+// damaged range, and the quarantine backlog clears with the swap.
+func TestSupervisorWholesaleRebuild(t *testing.T) {
+	const n = 1500
+	rec := obs.New(obs.DefaultRingCap)
+	db, st, rel, ix, _ := buildFaultyDB(t, rec, n)
+	defer db.Close()
+	db.cfg.Supervisor.RebuildAfter = 1
+	db.cfg.Supervisor.WholesaleRebuild = true
+	db.RegisterHeal(ix, rel, func(data []byte) []byte { return data })
+
+	fd := FaultDisks(st)["idx_acct_pk"]
+	leaves := liveLeaves(t, fd, 1)
+	if len(leaves) == 0 {
+		t.Fatal("no live leaf found")
+	}
+	if !fd.CorruptStable(leaves[0], func(img page.Page) { img[page.HeaderSize] ^= 0xFF }) {
+		t.Fatalf("no durable image to corrupt at page %d", leaves[0])
+	}
+	ix.Tree().Pool().InvalidateAll()
+
+	rep, err := ix.ScanDegraded(nil, nil, func([]byte, heap.TID) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Complete() {
+		t.Fatal("stable corruption did not quarantine anything — scenario is vacuous")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for db.Health() != Healthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("wholesale rebuild never completed; report: %+v", db.HealthReport())
+		}
+		time.Sleep(5 * time.Millisecond)
+		db.SuperviseOnce()
+	}
+	if rec.Get(obs.RebuildRun) == 0 {
+		t.Fatal("rebuild.run not counted — the bulk path never ran")
+	}
+	if rec.Get(obs.RepairRebuild) == 0 {
+		t.Fatal("repair.rebuild not counted")
+	}
+	for i := 0; i < n; i++ {
+		data, err := ix.FetchVisible(rel, healthKey(i))
+		if err != nil || !bytes.Equal(data, healthKey(i)) {
+			t.Fatalf("key %d after wholesale rebuild: %q, %v", i, data, err)
+		}
+	}
+	if err := ix.Tree().Check(btree.CheckStrict); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+}

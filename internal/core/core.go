@@ -77,6 +77,10 @@ type Config struct {
 	Shards int
 	// IndexOptions are passed through to every index.
 	IndexOptions btree.Options
+	// LoadFill is the leaf/internal fill factor for bulk loads and
+	// wholesale rebuilds, clamped to [0.5, 1.0] by the loader. Zero means
+	// btree.DefaultFillFactor.
+	LoadFill float64
 	// Retry bounds transient-I/O retries in every buffer pool the DB
 	// opens. The zero value means buffer.DefaultRetryPolicy.
 	Retry buffer.RetryPolicy

@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/shard"
+	"repro/internal/vacuum"
 )
 
 // Sharded indexes: one logical index partitioned across N B-link trees
@@ -39,6 +40,8 @@ type KVIndex interface {
 	FetchVisible(rel *Relation, key []byte) ([]byte, error)
 	Scan(start, end []byte, fn func(key []byte, tid heap.TID) bool) error
 	ScanDegraded(start, end []byte, fn func(key []byte, tid heap.TID) bool) (btree.ScanReport, error)
+	BulkLoad(keys [][]byte, tids []heap.TID) error
+	Rebuild(rel *Relation, keyOf vacuum.KeyOf) (RebuildStats, error)
 }
 
 var (

@@ -45,6 +45,13 @@ type SupervisorConfig struct {
 	// rebuilt from the heap relation instead of repaired from index state.
 	// Zero disables heap rebuilds.
 	RebuildAfter int
+	// WholesaleRebuild switches the RebuildAfter escalation from the
+	// insert-at-a-time reseed of the damaged key range to a bottom-up
+	// reconstruction of the whole tree (btree.BulkReplace): one heap scan,
+	// packed pages at the configured fill factor, and a single durable
+	// root swap that also clears the tree's quarantine backlog. Cheaper
+	// once damage is widespread; see EXPERIMENTS.md E12 for the crossover.
+	WholesaleRebuild bool
 }
 
 const defaultSupervisorInterval = 25 * time.Millisecond
@@ -193,14 +200,35 @@ func (db *DB) superviseTree(name string, t *btree.Tree, keyFilter func([]byte) b
 		db.mu.Lock()
 		src, hasSrc := db.healSources[name]
 		db.mu.Unlock()
+		wholesale := false
 		if hasSrc && db.cfg.Supervisor.RebuildAfter > 0 &&
 			e.Attempts >= db.cfg.Supervisor.RebuildAfter {
 			rebuild = true
-			err = db.rebuildFromHeap(t, src, keyFilter, e)
+			if db.cfg.Supervisor.WholesaleRebuild {
+				wholesale = true
+				err = db.rebuildWholesale(t, src, keyFilter)
+			} else {
+				err = db.rebuildFromHeap(t, src, keyFilter, e)
+			}
 		} else {
 			err = t.HealQuarantined(e.PageNo, e.Lo)
 		}
 		if err != nil {
+			if rebuild && !q.IsQuarantined(e.PageNo) {
+				// AbandonQuarantined released the entry before the heap
+				// reseed finished (e.g. the re-insert descent hit another
+				// damaged page). Restore it — range and attempt count
+				// included, so the escalation stays on the rebuild path —
+				// or the range's keys would be silently lost while the DB
+				// reads Healthy.
+				q.Add(e.PageNo, "heap reseed incomplete: "+err.Error(), e.Critical)
+				if e.HasRange {
+					q.SetRange(e.PageNo, e.Lo, e.Hi)
+				}
+				for i := 0; i < e.Attempts; i++ {
+					q.MarkAttempt(e.PageNo)
+				}
+			}
 			q.MarkAttempt(e.PageNo)
 			db.cfg.Obs.Count(obs.SupervisorFail)
 			db.cfg.Obs.Eventf(obs.SupervisorFail, e.PageNo,
@@ -214,6 +242,11 @@ func (db *DB) superviseTree(name string, t *btree.Tree, keyFilter func([]byte) b
 		} else {
 			db.cfg.Obs.Eventf(obs.SupervisorRepair, e.PageNo,
 				"supervisor healed page after %d attempts", e.Attempts)
+		}
+		if wholesale {
+			// The whole tree was reconstructed and its quarantine registry
+			// cleared; the remaining Due entries for it are gone too.
+			break
 		}
 	}
 }

@@ -102,6 +102,13 @@ const (
 	BatchPut     // keys applied through the batched insert path
 	BatchLeafRun // same-leaf runs applied under one leaf latch
 
+	// Bottom-up bulk load and wholesale rebuild-from-heap.
+	LoadLeaf    // leaf page packed and written by the bulk loader
+	LoadLevel   // parent level completed by the bulk loader
+	RebuildRun  // wholesale rebuild (bulk replace) started
+	RebuildKeys // keys fed into a wholesale rebuild
+	RebuildSwap // rebuilt root published over the old structure
+
 	numMetrics
 )
 
@@ -158,6 +165,11 @@ var metricNames = [numMetrics]string{
 	EvictDemote:       "pool.evict.demote",
 	BatchPut:          "batch.put",
 	BatchLeafRun:      "batch.leafrun",
+	LoadLeaf:          "load.leaf",
+	LoadLevel:         "load.level",
+	RebuildRun:        "rebuild.run",
+	RebuildKeys:       "rebuild.keys",
+	RebuildSwap:       "rebuild.swap",
 }
 
 func (m Metric) String() string {
